@@ -1,0 +1,65 @@
+// Ablation A4 — execution fault tolerance under churn, the paper's §VI
+// future-work extension: compare (a) the paper's detached-execution churn
+// model, (b) tasks dying with their host, and (c) checkpoint-restart on
+// top of HID-CAN, at two churn intensities.
+#include "bench/bench_common.hpp"
+
+using namespace soc;
+using namespace soc::bench;
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = BenchOptions::parse(argc, argv);
+  opt.print_header("Ablation A4: churn task policies "
+                   "(HID-CAN, lambda = 0.5; paper future-work extension)");
+
+  struct Case {
+    core::ChurnTaskPolicy policy;
+    double churn;
+    const char* label;
+  };
+  std::vector<Case> cases;
+  for (const double churn : {0.5, 0.95}) {
+    const int pct = static_cast<int>(churn * 100);
+    cases.push_back({core::ChurnTaskPolicy::kDetachedExecution, churn,
+                     nullptr});
+    cases.push_back({core::ChurnTaskPolicy::kTasksLost, churn, nullptr});
+    cases.push_back({core::ChurnTaskPolicy::kCheckpointRestart, churn,
+                     nullptr});
+    (void)pct;
+  }
+
+  std::vector<core::ExperimentConfig> configs;
+  std::vector<std::string> labels;
+  for (const auto& c0 : cases) {
+    auto c = opt.base_config();
+    c.protocol = core::ProtocolKind::kHidCan;
+    c.demand_ratio = 0.5;
+    c.churn_dynamic_degree = c0.churn;
+    c.churn_task_policy = c0.policy;
+    configs.push_back(c);
+    const char* pname =
+        c0.policy == core::ChurnTaskPolicy::kDetachedExecution ? "detached"
+        : c0.policy == core::ChurnTaskPolicy::kTasksLost       ? "lost"
+                                                               : "checkpoint";
+    labels.push_back(std::string(pname) + "@" +
+                     std::to_string(static_cast<int>(c0.churn * 100)) + "%");
+  }
+  const auto results = run_all(configs);
+
+  std::printf("\n%-16s %8s %8s %9s %8s %9s %10s %12s\n", "policy@churn",
+              "T-Ratio", "F-Ratio", "fairness", "killed", "restarts",
+              "snapshots", "wasted-work");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::printf("%-16s %8.3f %8.3f %9.3f %8llu %9llu %10llu %12.0f\n",
+                labels[i].c_str(), r.t_ratio, r.f_ratio, r.fairness,
+                static_cast<unsigned long long>(r.tasks_killed_by_churn),
+                static_cast<unsigned long long>(r.checkpoint_restarts),
+                static_cast<unsigned long long>(r.checkpoint_snapshots),
+                r.wasted_work_rate_seconds);
+  }
+  std::printf("\nExpected shape: 'lost' craters T-Ratio/F-Ratio versus the\n"
+              "paper's detached model; checkpoint-restart recovers most of\n"
+              "the gap at the cost of snapshot traffic and redone work.\n");
+  return 0;
+}

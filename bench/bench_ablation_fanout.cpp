@@ -1,0 +1,35 @@
+// Ablation A1 — the index-diffusion fan-out L.  The paper fixes L = 2 and
+// argues the message overhead L(L^d − 1)/(L − 1) forces a small constant;
+// this sweep shows the matching-rate/traffic trade-off around that choice.
+#include "bench/bench_common.hpp"
+
+using namespace soc;
+using namespace soc::bench;
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = BenchOptions::parse(argc, argv);
+  opt.print_header(
+      "Ablation A1: index diffusion fan-out L (HID-CAN, lambda = 0.5)");
+
+  std::vector<core::ExperimentConfig> configs;
+  std::vector<std::string> labels;
+  for (const std::size_t L : {1, 2, 3, 4}) {
+    auto c = opt.base_config();
+    c.protocol = core::ProtocolKind::kHidCan;
+    c.demand_ratio = 0.5;
+    c.inscan.index_fanout_L = L;
+    configs.push_back(c);
+    labels.push_back("L=" + std::to_string(L));
+  }
+  const auto results = run_all(configs);
+
+  std::printf("\n%-6s %10s %10s %10s %14s %16s\n", "L", "T-Ratio", "F-Ratio",
+              "fairness", "query-delay", "msgs/node");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::printf("%-6s %10.3f %10.3f %10.3f %13.2fs %16.0f\n",
+                labels[i].c_str(), r.t_ratio, r.f_ratio, r.fairness,
+                r.avg_query_delay_s, r.msg_cost_per_node);
+  }
+  return 0;
+}

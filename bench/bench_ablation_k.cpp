@@ -1,0 +1,37 @@
+// Ablation A3 — the first-k result count δ.  The paper's single-message
+// query returns "the first k matched results"; δ = 1 minimizes traffic,
+// larger δ gives the requester fallback candidates under contention.
+#include "bench/bench_common.hpp"
+
+using namespace soc;
+using namespace soc::bench;
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = BenchOptions::parse(argc, argv);
+  opt.print_header(
+      "Ablation A3: expected result count delta (HID-CAN, lambda = 0.5)");
+
+  std::vector<core::ExperimentConfig> configs;
+  std::vector<std::string> labels;
+  for (const std::size_t k : {1, 2, 4, 8}) {
+    auto c = opt.base_config();
+    c.protocol = core::ProtocolKind::kHidCan;
+    c.demand_ratio = 0.5;
+    c.want_results = k;
+    configs.push_back(c);
+    labels.push_back("delta=" + std::to_string(k));
+  }
+  const auto results = run_all(configs);
+
+  std::printf("\n%-10s %10s %10s %10s %14s %14s %16s\n", "delta", "T-Ratio",
+              "F-Ratio", "fairness", "query-delay", "dispatch-try",
+              "msgs/node");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::printf("%-10s %10.3f %10.3f %10.3f %13.2fs %14.2f %16.0f\n",
+                labels[i].c_str(), r.t_ratio, r.f_ratio, r.fairness,
+                r.avg_query_delay_s, r.avg_dispatch_attempts,
+                r.msg_cost_per_node);
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Ablation A5 — the two readings of the spreading (SID) diffusion method.
+// Fig. 3(a) of the paper draws index nodes only on the sender's axis
+// tracks (d·L messages, no cascade), while its cost analysis
+// ω = L(L^d − 1)/(L − 1) implies receivers open the next dimension like
+// the hopping method does.  This ablation quantifies how much of SID's
+// reported weakness versus HID comes down to that interpretation, at two
+// demand ratios.
+#include "bench/bench_common.hpp"
+
+using namespace soc;
+using namespace soc::bench;
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = BenchOptions::parse(argc, argv);
+  opt.print_header("Ablation A5: spreading-method interpretations vs HID");
+
+  struct Case {
+    core::ProtocolKind kind;
+    index::SpreadingScope scope;
+    const char* label;
+  };
+  const std::vector<Case> cases{
+      {core::ProtocolKind::kSidCan, index::SpreadingScope::kSenderTracks,
+       "SID/strict"},
+      {core::ProtocolKind::kSidCan, index::SpreadingScope::kCascade,
+       "SID/cascade"},
+      {core::ProtocolKind::kHidCan, index::SpreadingScope::kSenderTracks,
+       "HID"},
+  };
+
+  for (const double lambda : {0.5, 0.25}) {
+    std::vector<core::ExperimentConfig> configs;
+    std::vector<std::string> labels;
+    for (const auto& c0 : cases) {
+      auto c = opt.base_config();
+      c.protocol = c0.kind;
+      c.demand_ratio = lambda;
+      c.inscan.spreading_scope = c0.scope;
+      configs.push_back(c);
+      labels.emplace_back(c0.label);
+    }
+    const auto results = run_all(configs);
+    std::printf("\n## lambda = %.2f\n", lambda);
+    std::printf("%-14s %10s %10s %10s %16s\n", "variant", "T-Ratio",
+                "F-Ratio", "fairness", "msgs/node");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& r = results[i];
+      std::printf("%-14s %10.3f %10.3f %10.3f %16.0f\n", labels[i].c_str(),
+                  r.t_ratio, r.f_ratio, r.fairness, r.msg_cost_per_node);
+    }
+  }
+  std::printf("\nThe strict reading reproduces the paper's SID-vs-HID gap;\n"
+              "the cascade reading closes most of it, at hopping-equal\n"
+              "traffic.  See EXPERIMENTS.md for discussion.\n");
+  return 0;
+}

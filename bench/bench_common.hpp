@@ -1,0 +1,99 @@
+// Shared infrastructure for the reproduction benches: option parsing,
+// parallel execution of experiment configurations (one deterministic
+// single-threaded simulation per core), and paper-style series/table
+// printing.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/soc.hpp"
+
+namespace soc::bench {
+
+struct BenchOptions {
+  std::size_t nodes = 384;        ///< scaled default; --full → 2000
+  double hours = 6.0;             ///< scaled default; --full → 24
+  std::uint64_t seed = 1;
+  bool full = false;
+
+  static BenchOptions parse(int argc, char** argv) {
+    const CliArgs args(argc, argv);
+    BenchOptions o;
+    o.full = args.get_bool("full", false);
+    o.nodes = static_cast<std::size_t>(
+        args.get_int("nodes", o.full ? 2000 : 384));
+    o.hours = args.get_double("hours", o.full ? 24.0 : 6.0);
+    o.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    return o;
+  }
+
+  [[nodiscard]] core::ExperimentConfig base_config() const {
+    core::ExperimentConfig c;
+    c.nodes = nodes;
+    c.duration = seconds(hours * 3600.0);
+    c.sample_step = seconds(3600);
+    c.seed = seed;
+    return c;
+  }
+
+  void print_header(const char* what) const {
+    std::printf("# %s\n", what);
+    std::printf("# nodes=%zu duration=%.1fh seed=%llu%s\n", nodes, hours,
+                static_cast<unsigned long long>(seed),
+                full ? " (paper scale)" : " (scaled; pass --full for paper scale)");
+  }
+};
+
+/// Run all configs in parallel (each simulation stays single-threaded and
+/// deterministic); results come back in input order.
+inline std::vector<core::ExperimentResults> run_all(
+    const std::vector<core::ExperimentConfig>& configs) {
+  std::vector<core::ExperimentResults> results(configs.size());
+  ThreadPool pool;
+  pool.parallel_for(configs.size(), [&](std::size_t i) {
+    results[i] = core::run_experiment(configs[i]);
+  });
+  return results;
+}
+
+/// Print one metric of all runs as an hour-by-hour series table, the shape
+/// the paper's figures plot.
+inline void print_series(
+    const char* title,
+    const std::function<double(const metrics::SeriesSample&)>& metric,
+    const std::vector<core::ExperimentResults>& results) {
+  std::printf("\n## %s\n", title);
+  std::printf("%-6s", "hour");
+  for (const auto& r : results) std::printf(" %12s", r.protocol.c_str());
+  std::printf("\n");
+  if (results.empty() || results[0].series.empty()) return;
+  for (std::size_t row = 0; row < results[0].series.size(); ++row) {
+    std::printf("%-6.0f", results[0].series[row].hour);
+    for (const auto& r : results) {
+      std::printf(" %12.3f", row < r.series.size() ? metric(r.series[row]) : 0.0);
+    }
+    std::printf("\n");
+  }
+}
+
+/// Print the end-of-run summary row per configuration.
+inline void print_summary(const std::vector<core::ExperimentResults>& results,
+                          const std::vector<std::string>& labels = {}) {
+  std::printf("\n## summary\n");
+  std::printf("%-18s %8s %8s %9s %10s %10s %12s\n", "config", "T-Ratio",
+              "F-Ratio", "fairness", "generated", "finished", "msgs/node");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    const std::string label = i < labels.size() ? labels[i] : r.protocol;
+    std::printf("%-18s %8.3f %8.3f %9.3f %10llu %10llu %12.0f\n",
+                label.c_str(), r.t_ratio, r.f_ratio, r.fairness,
+                static_cast<unsigned long long>(r.generated),
+                static_cast<unsigned long long>(r.finished),
+                r.msg_cost_per_node);
+  }
+}
+
+}  // namespace soc::bench

@@ -1,0 +1,37 @@
+// Fig. 4 — "Contrary Results under Different Query Ranges": throughput
+// ratio over 24 hours for Newscast gossip, SID-CAN and KHDN-CAN, at
+// (a) demand ratio 0.84 (wide query ranges) and (b) 0.25 (intensive,
+// narrow ranges where SID-CAN loses its edge).
+#include "bench/bench_common.hpp"
+
+using namespace soc;
+using namespace soc::bench;
+using core::ProtocolKind;
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = BenchOptions::parse(argc, argv);
+  opt.print_header("Fig. 4: T-Ratio under different query ranges "
+                   "(Newscast vs SID-CAN vs KHDN-CAN)");
+
+  const std::vector<ProtocolKind> protocols{
+      ProtocolKind::kNewscast, ProtocolKind::kSidCan, ProtocolKind::kKhdnCan};
+
+  for (const double ratio : {0.84, 0.25}) {
+    std::vector<core::ExperimentConfig> configs;
+    for (const ProtocolKind p : protocols) {
+      auto c = opt.base_config();
+      c.protocol = p;
+      c.demand_ratio = ratio;
+      configs.push_back(c);
+    }
+    const auto results = run_all(configs);
+    char title[96];
+    std::snprintf(title, sizeof title,
+                  "Fig. 4(%c) throughput ratio, demand ratio = %.2f",
+                  ratio > 0.5 ? 'a' : 'b', ratio);
+    print_series(title, [](const metrics::SeriesSample& s) { return s.t_ratio; },
+                 results);
+    print_summary(results);
+  }
+  return 0;
+}

@@ -1,0 +1,6 @@
+// Fig. 5 — six-protocol comparison at demand ratio λ = 1.
+#include "bench/bench_fig567.hpp"
+
+int main(int argc, char** argv) {
+  return soc::bench::run_six_protocol_figure(argc, argv, 5, 1.0);
+}

@@ -1,0 +1,52 @@
+// Shared driver for Figs. 5, 6 and 7: the six-protocol comparison
+// (SID-CAN, HID-CAN, SID-CAN+SoS, HID-CAN+SoS, SID-CAN+VD, Newscast) over
+// one simulated day, reporting throughput ratio, failed task ratio and
+// Jain's fairness index — at a figure-specific demand ratio λ.
+#pragma once
+
+#include "bench/bench_common.hpp"
+
+namespace soc::bench {
+
+inline int run_six_protocol_figure(int argc, char** argv, int figure_no,
+                                   double lambda) {
+  const BenchOptions opt = BenchOptions::parse(argc, argv);
+  char what[128];
+  std::snprintf(what, sizeof what,
+                "Fig. %d: efficacy of resource discovery protocols "
+                "(lambda = %.2f)",
+                figure_no, lambda);
+  opt.print_header(what);
+
+  using core::ProtocolKind;
+  const std::vector<ProtocolKind> protocols{
+      ProtocolKind::kSidCan,    ProtocolKind::kHidCan,
+      ProtocolKind::kSidCanSos, ProtocolKind::kHidCanSos,
+      ProtocolKind::kSidCanVd,  ProtocolKind::kNewscast};
+
+  std::vector<core::ExperimentConfig> configs;
+  for (const ProtocolKind p : protocols) {
+    auto c = opt.base_config();
+    c.protocol = p;
+    c.demand_ratio = lambda;
+    configs.push_back(c);
+  }
+  const auto results = run_all(configs);
+
+  char title[96];
+  std::snprintf(title, sizeof title, "Fig. %d(a) throughput ratio", figure_no);
+  print_series(title, [](const metrics::SeriesSample& s) { return s.t_ratio; },
+               results);
+  std::snprintf(title, sizeof title, "Fig. %d(b) failed task ratio",
+                figure_no);
+  print_series(title, [](const metrics::SeriesSample& s) { return s.f_ratio; },
+               results);
+  std::snprintf(title, sizeof title, "Fig. %d(c) fairness index", figure_no);
+  print_series(title,
+               [](const metrics::SeriesSample& s) { return s.fairness; },
+               results);
+  print_summary(results);
+  return 0;
+}
+
+}  // namespace soc::bench

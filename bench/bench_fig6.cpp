@@ -1,0 +1,6 @@
+// Fig. 6 — six-protocol comparison at demand ratio λ = 0.5.
+#include "bench/bench_fig567.hpp"
+
+int main(int argc, char** argv) {
+  return soc::bench::run_six_protocol_figure(argc, argv, 6, 0.5);
+}

@@ -1,0 +1,43 @@
+// Fig. 8 — HID-CAN under different node-churning rates (dynamic degree =
+// 0 / 25 / 50 / 75 / 95 %, λ = 0.5): T-Ratio, F-Ratio and fairness should
+// degrade only mildly up to 50% churn.
+#include "bench/bench_common.hpp"
+
+using namespace soc;
+using namespace soc::bench;
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = BenchOptions::parse(argc, argv);
+  opt.print_header("Fig. 8: HID-CAN under different node churning rates "
+                   "(lambda = 0.5)");
+
+  const std::vector<double> degrees{0.0, 0.25, 0.5, 0.75, 0.95};
+  std::vector<core::ExperimentConfig> configs;
+  std::vector<std::string> labels;
+  for (const double deg : degrees) {
+    auto c = opt.base_config();
+    c.protocol = core::ProtocolKind::kHidCan;
+    c.demand_ratio = 0.5;
+    c.churn_dynamic_degree = deg;
+    configs.push_back(c);
+    labels.push_back(deg == 0.0 ? "static"
+                                : "dynamic=" + std::to_string(static_cast<int>(
+                                                   deg * 100)) + "%");
+  }
+  auto results = run_all(configs);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    results[i].protocol = labels[i];  // label series columns by churn level
+  }
+
+  print_series("Fig. 8(a) throughput ratio",
+               [](const metrics::SeriesSample& s) { return s.t_ratio; },
+               results);
+  print_series("Fig. 8(b) failed task ratio",
+               [](const metrics::SeriesSample& s) { return s.f_ratio; },
+               results);
+  print_series("Fig. 8(c) fairness index",
+               [](const metrics::SeriesSample& s) { return s.fairness; },
+               results);
+  print_summary(results, labels);
+  return 0;
+}

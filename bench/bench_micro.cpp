@@ -1,0 +1,182 @@
+// Micro benchmarks (google-benchmark): throughput of the substrates the
+// simulation rests on — event queue, RNG, resource-vector dominance, CAN
+// geometry/routing — plus the paper's §III.A routing-hops claims:
+// INSCAN-augmented routing should scale like O(log² n) versus plain CAN's
+// O(n^{1/d}), and INSCAN-RQ's traffic grows with the responsible-node
+// count while PID-CAN's stays bounded.
+#include <benchmark/benchmark.h>
+
+#include "src/core/soc.hpp"
+
+namespace {
+
+using namespace soc;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (std::size_t i = 0; i < n; ++i) {
+      q.push(static_cast<SimTime>(rng.uniform_int(0, 1000000)), [] {});
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop().at);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(16384);
+
+void BM_RngUniform(benchmark::State& state) {
+  Rng rng(2);
+  double acc = 0;
+  for (auto _ : state) acc += rng.uniform();
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_ResourceVectorDominates(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<ResourceVector> vs;
+  for (int i = 0; i < 1024; ++i) {
+    ResourceVector v(5);
+    for (std::size_t d = 0; d < 5; ++d) v[d] = rng.uniform(0, 10);
+    vs.push_back(v);
+  }
+  const ResourceVector demand{3, 3, 3, 3, 3};
+  std::size_t i = 0, hits = 0;
+  for (auto _ : state) {
+    hits += vs[i++ & 1023].dominates(demand);
+  }
+  benchmark::DoNotOptimize(hits);
+}
+BENCHMARK(BM_ResourceVectorDominates);
+
+void BM_ZoneSplitContain(benchmark::State& state) {
+  const can::Zone unit = can::Zone::unit(5);
+  Rng rng(4);
+  for (auto _ : state) {
+    auto [lo, hi] = unit.split(static_cast<std::size_t>(rng.uniform_int(0, 4)));
+    can::Point p(5);
+    for (std::size_t d = 0; d < 5; ++d) p[d] = rng.uniform();
+    benchmark::DoNotOptimize(lo.contains(p) || hi.contains(p));
+  }
+}
+BENCHMARK(BM_ZoneSplitContain);
+
+can::CanSpace make_space(std::size_t n, std::size_t dims) {
+  can::CanSpace space(dims, Rng(5));
+  for (std::uint32_t i = 0; i < n; ++i) space.join(NodeId(i));
+  return space;
+}
+
+void BM_CanGreedyRouting(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const can::CanSpace space = make_space(n, 5);
+  Rng rng(6);
+  double total_hops = 0;
+  std::size_t routes = 0;
+  for (auto _ : state) {
+    can::Point target(5);
+    for (std::size_t d = 0; d < 5; ++d) target[d] = rng.uniform();
+    const NodeId start = space.random_member(rng);
+    total_hops += static_cast<double>(space.route(start, target).size());
+    ++routes;
+  }
+  state.counters["avg_hops"] =
+      benchmark::Counter(total_hops / static_cast<double>(routes));
+}
+BENCHMARK(BM_CanGreedyRouting)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_PsmAdmitFinish(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim(7);
+    psm::PsmScheduler sched(sim, ResourceVector{100, 100, 100, 100, 10000});
+    for (std::uint32_t i = 0; i < 16; ++i) {
+      psm::TaskSpec t;
+      t.id = TaskId{NodeId(0), i};
+      t.expectation = ResourceVector{2, 2, 2, 2, 100};
+      t.workload = {200, 200, 200};
+      sched.admit(t);
+    }
+    sim.run_until(seconds(3600));
+    benchmark::DoNotOptimize(sched.running_count());
+  }
+}
+BENCHMARK(BM_PsmAdmitFinish);
+
+// §III.A: query traffic of the exhaustive INSCAN-RQ versus the
+// single-message PID-CAN query, at growing scale.  Reported as counters so
+// the O(N)-vs-O(log N) gap the paper motivates is visible directly.
+void BM_RangeQueryTraffic(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Simulator sim(8);
+  net::Topology topo(net::TopologyConfig{}, Rng(9));
+  net::MessageBus bus(sim, topo);
+  can::CanSpace space(5, Rng(10));
+  index::InscanConfig cfg;
+  index::IndexSystem idx(sim, bus, space, cfg, Rng(11));
+  idx.attach_to_space();
+  Rng rng(12);
+  std::vector<NodeId> ids;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const NodeId id = topo.add_host();
+    space.join(id);
+    ids.push_back(id);
+  }
+  std::unordered_map<NodeId, ResourceVector> avail;
+  const ResourceVector cmax = ResourceVector::filled(5, 10.0);
+  idx.set_availability_provider(
+      [&](NodeId id) -> std::optional<index::Record> {
+        index::Record r;
+        r.provider = id;
+        r.availability = avail[id];
+        r.location = can::Point::normalized(avail[id], cmax);
+        r.published_at = sim.now();
+        r.expires_at = sim.now() + seconds(1e6);
+        return r;
+      });
+  for (const NodeId id : ids) {
+    ResourceVector a(5);
+    for (std::size_t d = 0; d < 5; ++d) a[d] = rng.uniform(0, 10);
+    avail[id] = a;
+    idx.add_node(id);
+  }
+  sim.run_until(seconds(1500));
+
+  query::QueryConfig qc;
+  query::QueryEngine engine(idx, qc);
+  const ResourceVector demand = ResourceVector::filled(5, 4.0);
+  const can::Point target = can::Point::normalized(demand, cmax);
+
+  // Count only query-pipeline message types so concurrent background
+  // maintenance (state updates, probes, diffusion) stays out of the
+  // comparison.
+  auto query_traffic = [&bus] {
+    return bus.stats().sent(net::MsgType::kDutyQuery) +
+           bus.stats().sent(net::MsgType::kIndexAgent) +
+           bus.stats().sent(net::MsgType::kIndexJump) +
+           bus.stats().sent(net::MsgType::kFoundNotice);
+  };
+  std::uint64_t full_msgs = 0, pid_msgs = 0, trials = 0;
+  for (auto _ : state) {
+    const NodeId requester = ids[rng.pick_index(ids.size())];
+    const std::uint64_t before_full = query_traffic();
+    engine.submit_full_range(requester, demand, target, [](auto) {});
+    sim.run_until(sim.now() + seconds(300));
+    const std::uint64_t mid = query_traffic();
+    engine.submit_k(requester, demand, target, 1, [](auto) {});
+    sim.run_until(sim.now() + seconds(300));
+    full_msgs += mid - before_full;
+    pid_msgs += query_traffic() - mid;
+    ++trials;
+  }
+  state.counters["inscan_rq_msgs"] = benchmark::Counter(
+      static_cast<double>(full_msgs) / static_cast<double>(trials));
+  state.counters["pidcan_msgs"] = benchmark::Counter(
+      static_cast<double>(pid_msgs) / static_cast<double>(trials));
+}
+BENCHMARK(BM_RangeQueryTraffic)->Arg(128)->Arg(512)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Fault-tolerant cloud: the paper's §VI future-work extension in action.
+// Runs the same churn-heavy SOC three times — with the paper's detached
+// churn model, with tasks dying alongside their host, and with
+// checkpoint-restart on top of HID-CAN — and compares what survives.
+//
+//   ./example_fault_tolerant_cloud [--nodes 256] [--hours 4] [--churn 0.75]
+#include <cstdio>
+
+#include "src/core/soc.hpp"
+
+int main(int argc, char** argv) {
+  using namespace soc;
+  const CliArgs args(argc, argv);
+  const auto nodes = static_cast<std::size_t>(args.get_int("nodes", 256));
+  const double hours = args.get_double("hours", 4.0);
+  const double churn = args.get_double("churn", 0.75);
+
+  struct Case {
+    core::ChurnTaskPolicy policy;
+    const char* name;
+    const char* blurb;
+  };
+  const Case cases[] = {
+      {core::ChurnTaskPolicy::kDetachedExecution, "detached",
+       "paper model: churn only disturbs discovery"},
+      {core::ChurnTaskPolicy::kTasksLost, "tasks-lost",
+       "tasks die with their host"},
+      {core::ChurnTaskPolicy::kCheckpointRestart, "checkpoint",
+       "periodic snapshots + restart via re-query"},
+  };
+
+  std::printf("Execution fault tolerance under %.0f%% churn "
+              "(%zu nodes, lambda=0.5, %.1fh)\n\n",
+              churn * 100.0, nodes, hours);
+  std::printf("%-12s %8s %8s %8s %9s %10s %13s\n", "policy", "T-Ratio",
+              "F-Ratio", "killed", "restarts", "snapshots", "wasted-work");
+
+  std::vector<core::ExperimentResults> results(std::size(cases));
+  ThreadPool pool;
+  pool.parallel_for(std::size(cases), [&](std::size_t i) {
+    core::ExperimentConfig c;
+    c.protocol = core::ProtocolKind::kHidCan;
+    c.nodes = nodes;
+    c.demand_ratio = 0.5;
+    c.duration = seconds(hours * 3600.0);
+    c.churn_dynamic_degree = churn;
+    c.churn_task_policy = cases[i].policy;
+    c.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    results[i] = core::run_experiment(c);
+  });
+
+  for (std::size_t i = 0; i < std::size(cases); ++i) {
+    const auto& r = results[i];
+    std::printf("%-12s %8.3f %8.3f %8llu %9llu %10llu %13.0f\n",
+                cases[i].name, r.t_ratio, r.f_ratio,
+                static_cast<unsigned long long>(r.tasks_killed_by_churn),
+                static_cast<unsigned long long>(r.checkpoint_restarts),
+                static_cast<unsigned long long>(r.checkpoint_snapshots),
+                r.wasted_work_rate_seconds);
+  }
+  std::printf("\n");
+  for (const auto& c : cases) std::printf("  %-12s %s\n", c.name, c.blurb);
+  std::printf("\nCheckpoint-restart recovers most of the throughput that\n"
+              "naive task loss destroys, trading snapshot traffic and some\n"
+              "redone work — the trade the paper's future-work section\n"
+              "anticipates studying.\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Overlay explorer: the library as a toolkit, below the Experiment facade.
+// Builds a CAN space by hand, publishes synthetic availability records,
+// lets the INSCAN index diffusion warm up, then walks through what each
+// layer did: duty placement, index tables, PILists, a traced PID-CAN query
+// and the INSCAN-RQ exhaustive query for comparison.
+//
+//   ./example_overlay_explorer [--nodes 64] [--dims 2]
+#include <cstdio>
+#include <unordered_map>
+
+#include "src/core/soc.hpp"
+
+int main(int argc, char** argv) {
+  using namespace soc;
+  const CliArgs args(argc, argv);
+  const auto n = static_cast<std::size_t>(args.get_int("nodes", 64));
+  const auto dims = static_cast<std::size_t>(args.get_int("dims", 2));
+
+  sim::Simulator sim(42);
+  net::Topology topo(net::TopologyConfig{}, Rng(43));
+  net::MessageBus bus(sim, topo);
+  can::CanSpace space(dims, Rng(44));
+  index::InscanConfig cfg;
+  index::IndexSystem index(sim, bus, space, cfg, Rng(45));
+  index.attach_to_space();
+
+  // Synthetic availabilities in [0, 10]^dims.
+  const ResourceVector cmax = ResourceVector::filled(dims, 10.0);
+  std::unordered_map<NodeId, ResourceVector> avail;
+  Rng rng(46);
+  index.set_availability_provider(
+      [&](NodeId id) -> std::optional<index::Record> {
+        index::Record r;
+        r.provider = id;
+        r.availability = avail.at(id);
+        r.location = can::Point::normalized(r.availability, cmax);
+        r.published_at = sim.now();
+        r.expires_at = sim.now() + cfg.record_ttl;
+        return r;
+      });
+
+  std::printf("1. Building a %zu-dimensional CAN with %zu nodes...\n", dims, n);
+  std::vector<NodeId> ids;
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId id = topo.add_host();
+    space.join(id);
+    ResourceVector a(dims);
+    for (std::size_t d = 0; d < dims; ++d) a[d] = rng.uniform(0.0, 10.0);
+    avail[id] = a;
+    index.add_node(id);
+    ids.push_back(id);
+  }
+  std::printf("   overlay invariants hold: %s\n",
+              space.verify_invariants() ? "yes" : "NO");
+  const NodeId sample = ids[0];
+  std::printf("   node %u owns zone %s with %zu neighbors\n", sample.value,
+              space.zone_of(sample).to_string().c_str(),
+              space.neighbors_of(sample).size());
+  if (dims == 2 && n <= 80) {
+    std::printf("\n%s", can::render_ascii(space, 72, 24).c_str());
+  }
+
+  std::printf("\n2. Warming up: state updates, probe walks, HID diffusion "
+              "(1500 simulated seconds)...\n");
+  sim.run_until(seconds(1500));
+  std::size_t records = 0, pi_entries = 0;
+  for (const NodeId id : ids) {
+    records += index.cache(id).live_count(sim.now());
+    pi_entries += index.pi_list(id).live_count(sim.now());
+  }
+  std::printf("   %zu availability records cached at duty nodes, "
+              "%.1f PIList entries per node\n",
+              records, static_cast<double>(pi_entries) / static_cast<double>(n));
+  std::printf("   diffusion activity: %llu initiations, %llu relays\n",
+              static_cast<unsigned long long>(
+                  index.activity().diffusion_initiations),
+              static_cast<unsigned long long>(
+                  index.activity().diffusion_relays));
+
+  const ResourceVector demand = ResourceVector::filled(dims, 6.0);
+  const can::Point corner = can::Point::normalized(demand, cmax);
+  std::printf("\n3. Range query: demand %s → corner point %s\n",
+              demand.to_string().c_str(), corner.to_string().c_str());
+  std::printf("   duty (boundary-corner) node: %u\n",
+              space.owner_of(corner).value);
+
+  query::QueryConfig qc;
+  query::QueryEngine engine(index, qc);
+  // Count only query-pipeline message types so concurrent background
+  // maintenance (state updates, probes, diffusion) doesn't pollute the
+  // comparison.
+  auto query_traffic = [&bus] {
+    return bus.stats().sent(net::MsgType::kDutyQuery) +
+           bus.stats().sent(net::MsgType::kIndexAgent) +
+           bus.stats().sent(net::MsgType::kIndexJump) +
+           bus.stats().sent(net::MsgType::kFoundNotice);
+  };
+  const std::uint64_t before = query_traffic();
+  engine.submit_k(ids[1], demand, corner, 1,
+                  [&](std::vector<query::Candidate> found) {
+                    if (found.empty()) {
+                      std::printf("   PID-CAN query: no match\n");
+                    } else {
+                      std::printf("   PID-CAN query: best-fit provider %u, "
+                                  "availability %s\n",
+                                  found[0].provider.value,
+                                  found[0].availability.to_string().c_str());
+                    }
+                  });
+  sim.run_until(sim.now() + seconds(200));
+  const std::uint64_t pid_msgs = query_traffic() - before;
+
+  const std::uint64_t before_full = query_traffic();
+  engine.submit_full_range(ids[1], demand, corner,
+                           [&](std::vector<query::Candidate> found) {
+                             std::printf("   INSCAN-RQ flood: %zu qualified "
+                                         "records in the whole range\n",
+                                         found.size());
+                           });
+  sim.run_until(sim.now() + seconds(200));
+  const std::uint64_t full_msgs = query_traffic() - before_full;
+
+  std::printf("\n4. Traffic: single-message PID-CAN query cost ~%llu messages;"
+              "\n   exhaustive INSCAN-RQ cost ~%llu messages — the gap the\n"
+              "   paper bounds by returning only the first k results.\n",
+              static_cast<unsigned long long>(pid_msgs),
+              static_cast<unsigned long long>(full_msgs));
+  return 0;
+}

@@ -1,0 +1,65 @@
+#include "src/can/ascii_art.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace soc::can {
+
+std::string render_ascii(const CanSpace& space, std::size_t width,
+                         std::size_t height) {
+  SOC_CHECK_MSG(space.dims() == 2, "ASCII rendering needs a 2-D space");
+  SOC_CHECK(width >= 8 && height >= 4);
+
+  // +1 so both edges of the unit square land on grid lines.
+  const std::size_t w = width + 1;
+  const std::size_t h = height + 1;
+  std::vector<std::string> grid(h, std::string(w, ' '));
+
+  auto col = [&](double x) {
+    return static_cast<std::size_t>(
+        std::min(x * static_cast<double>(width), static_cast<double>(width)));
+  };
+  // The y axis points up: row 0 is the top of the picture (y = 1).
+  auto row = [&](double y) {
+    return height - static_cast<std::size_t>(std::min(
+                        y * static_cast<double>(height),
+                        static_cast<double>(height)));
+  };
+
+  for (const NodeId id : space.member_ids()) {
+    const Zone& z = space.zone_of(id);
+    const std::size_t c0 = col(z.lo(0));
+    const std::size_t c1 = col(z.hi(0));
+    const std::size_t r0 = row(z.hi(1));
+    const std::size_t r1 = row(z.lo(1));
+    for (std::size_t c = c0; c <= c1; ++c) {
+      grid[r0][c] = '-';
+      grid[r1][c] = '-';
+    }
+    for (std::size_t r = r0; r <= r1; ++r) {
+      grid[r][c0] = grid[r][c0] == '-' ? '+' : '|';
+      grid[r][c1] = grid[r][c1] == '-' ? '+' : '|';
+    }
+    grid[r0][c0] = grid[r0][c1] = grid[r1][c0] = grid[r1][c1] = '+';
+
+    // Owner label centered-ish inside the zone, if there is room.
+    const std::string label = std::to_string(id.value);
+    if (c1 - c0 > label.size() + 1 && r1 - r0 >= 2) {
+      const std::size_t lr = (r0 + r1) / 2;
+      const std::size_t lc = (c0 + c1 - label.size()) / 2 + 1;
+      for (std::size_t i = 0; i < label.size(); ++i) {
+        grid[lr][lc + i] = label[i];
+      }
+    }
+  }
+
+  std::string out;
+  out.reserve(h * (w + 1));
+  for (const auto& line : grid) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace soc::can

@@ -1,0 +1,19 @@
+// ASCII rendering of a 2-dimensional CAN space — zone boundaries and owner
+// ids on a character grid.  Debugging/teaching aid used by the overlay
+// explorer example and the README.
+#pragma once
+
+#include <string>
+
+#include "src/can/space.hpp"
+
+namespace soc::can {
+
+/// Render the zones of a 2-D CanSpace as an ASCII grid of roughly
+/// `width × height` characters (plus borders).  Each zone is outlined and
+/// labeled with its owner id where it fits.  Requires space.dims() == 2.
+[[nodiscard]] std::string render_ascii(const CanSpace& space,
+                                       std::size_t width = 72,
+                                       std::size_t height = 24);
+
+}  // namespace soc::can

@@ -1,0 +1,147 @@
+#include "src/can/partition_tree.hpp"
+
+#include <cmath>
+
+namespace soc::can {
+
+PartitionTree::PartitionTree(std::size_t dims, NodeId first_owner)
+    : dims_(dims), root_(std::make_unique<TreeNode>()) {
+  SOC_CHECK(dims > 0 && dims <= kMaxDims);
+  SOC_CHECK(first_owner.valid());
+  root_->zone = Zone::unit(dims);
+  root_->owner = first_owner;
+  leaves_.emplace(first_owner, root_.get());
+}
+
+PartitionTree::TreeNode* PartitionTree::leaf_for(NodeId id) const {
+  const auto it = leaves_.find(id);
+  SOC_CHECK_MSG(it != leaves_.end(), "unknown owner");
+  SOC_DCHECK(it->second->is_leaf());
+  return it->second;
+}
+
+const Zone& PartitionTree::zone_of(NodeId id) const {
+  return leaf_for(id)->zone;
+}
+
+std::size_t PartitionTree::depth_of(NodeId id) const {
+  return leaf_for(id)->depth;
+}
+
+NodeId PartitionTree::owner_of(const Point& p) const {
+  const TreeNode* t = root_.get();
+  while (!t->is_leaf()) {
+    t = t->left->zone.contains(p) ? t->left.get() : t->right.get();
+  }
+  SOC_DCHECK(t->zone.contains(p));
+  return t->owner;
+}
+
+Zone PartitionTree::split(NodeId owner, NodeId joiner,
+                          const std::optional<Point>& joiner_point) {
+  SOC_CHECK(joiner.valid());
+  SOC_CHECK_MSG(!leaves_.contains(joiner), "joiner already owns a zone");
+  TreeNode* leaf = leaf_for(owner);
+
+  const std::size_t dim = leaf->depth % dims_;
+  auto [lo_half, hi_half] = leaf->zone.split(dim);
+
+  leaf->left = std::make_unique<TreeNode>();
+  leaf->right = std::make_unique<TreeNode>();
+  for (TreeNode* child : {leaf->left.get(), leaf->right.get()}) {
+    child->parent = leaf;
+    child->depth = leaf->depth + 1;
+  }
+  leaf->left->zone = lo_half;
+  leaf->right->zone = hi_half;
+
+  // The joiner takes the half containing its chosen point (so its own
+  // availability record tends to land in its zone); default: upper half.
+  TreeNode* joiner_leaf = leaf->right.get();
+  TreeNode* owner_leaf = leaf->left.get();
+  if (joiner_point.has_value() && lo_half.contains(*joiner_point)) {
+    joiner_leaf = leaf->left.get();
+    owner_leaf = leaf->right.get();
+  }
+  joiner_leaf->owner = joiner;
+  owner_leaf->owner = owner;
+  leaf->owner = NodeId{};
+
+  leaves_[owner] = owner_leaf;
+  leaves_.emplace(joiner, joiner_leaf);
+  return joiner_leaf->zone;
+}
+
+PartitionTree::TreeNode* PartitionTree::find_sibling_leaf_pair(TreeNode* t) {
+  // Descend to the deepest internal node whose two children are leaves;
+  // biased left for determinism.  Any binary tree has such a node.
+  while (!(t->left->is_leaf() && t->right->is_leaf())) {
+    t = !t->left->is_leaf() ? t->left.get() : t->right.get();
+  }
+  return t;
+}
+
+PartitionTree::Repair PartitionTree::leave(NodeId owner) {
+  SOC_CHECK_MSG(leaf_count() > 1, "cannot remove the last owner");
+  TreeNode* leaf = leaf_for(owner);
+  leaves_.erase(owner);
+
+  TreeNode* parent = leaf->parent;
+  SOC_CHECK(parent != nullptr);
+  TreeNode* sibling =
+      parent->left.get() == leaf ? parent->right.get() : parent->left.get();
+
+  Repair repair{NodeId{}, NodeId{}, NodeId{}};
+
+  if (sibling->is_leaf()) {
+    // Simple case: sibling's owner takes over the merged parent zone.
+    const NodeId heir = sibling->owner;
+    parent->owner = heir;
+    parent->left.reset();
+    parent->right.reset();
+    leaves_[heir] = parent;
+    repair.merge_survivor = heir;
+    repair.merged_from = owner;
+    return repair;
+  }
+
+  // General case: find a pair of sibling leaves (y, z) inside the sibling
+  // subtree; merge them under z; y becomes free and takes over the departed
+  // leaf's zone unchanged.  Every node keeps exactly one valid zone.
+  TreeNode* pair_parent = find_sibling_leaf_pair(sibling);
+  const NodeId y = pair_parent->left->owner;
+  const NodeId z = pair_parent->right->owner;
+  pair_parent->owner = z;
+  pair_parent->left.reset();
+  pair_parent->right.reset();
+  leaves_[z] = pair_parent;
+
+  leaf->owner = y;
+  leaves_[y] = leaf;
+
+  repair.merge_survivor = z;
+  repair.merged_from = y;
+  repair.reassigned_to = y;
+  return repair;
+}
+
+std::vector<NodeId> PartitionTree::owners() const {
+  std::vector<NodeId> out;
+  out.reserve(leaves_.size());
+  for (const auto& [id, _] : leaves_) out.push_back(id);
+  return out;
+}
+
+bool PartitionTree::tiles_unit_cube() const {
+  // Volumes of leaves must sum to 1 and each internal node's children must
+  // exactly partition it; the construction guarantees the latter, so the
+  // volume check plus leaf-count consistency is sufficient.
+  double vol = 0.0;
+  for (const auto& [_, leaf] : leaves_) {
+    if (!leaf->is_leaf()) return false;
+    vol += leaf->zone.volume();
+  }
+  return std::abs(vol - 1.0) < 1e-9;
+}
+
+}  // namespace soc::can

@@ -1,0 +1,83 @@
+// The binary partition tree underlying the CAN space.  Every zone split on
+// node join adds two children; node departures repair the tree so that each
+// live node owns exactly one valid (binary-split-shaped) zone — this is the
+// "binary partition tree based background zone reassignment algorithm"
+// ([14], used by the paper for its node-churning experiments).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/can/geometry.hpp"
+#include "src/common/types.hpp"
+
+namespace soc::can {
+
+class PartitionTree {
+ public:
+  struct TreeNode {
+    Zone zone;
+    std::size_t depth = 0;
+    TreeNode* parent = nullptr;
+    std::unique_ptr<TreeNode> left, right;
+    NodeId owner;  // valid iff leaf
+
+    [[nodiscard]] bool is_leaf() const { return !left; }
+  };
+
+  /// Outcome of a departure repair, so the membership layer can move
+  /// records and fix neighbor sets.
+  struct Repair {
+    /// Node whose zone grew by a merge (absorbs `merged_from`'s old zone),
+    /// or invalid when no merge happened (single-node tree).
+    NodeId merge_survivor;
+    NodeId merged_from;
+    /// Node that took over the departed leaf's (unchanged) zone, or invalid
+    /// when the departed zone was merged away directly.
+    NodeId reassigned_to;
+  };
+
+  PartitionTree(std::size_t dims, NodeId first_owner);
+
+  [[nodiscard]] std::size_t dims() const { return dims_; }
+  [[nodiscard]] std::size_t leaf_count() const { return leaves_.size(); }
+  [[nodiscard]] bool contains_owner(NodeId id) const {
+    return leaves_.contains(id);
+  }
+
+  [[nodiscard]] const Zone& zone_of(NodeId id) const;
+  [[nodiscard]] std::size_t depth_of(NodeId id) const;
+
+  /// Owner of the leaf containing p (tree descent oracle).
+  [[nodiscard]] NodeId owner_of(const Point& p) const;
+
+  /// Split the leaf owned by `owner` along `depth % dims` (the original
+  /// CAN's cyclic split order).  `owner` keeps the half containing
+  /// `keep_point` hint if provided, otherwise the lower half; `joiner`
+  /// receives the other half.  Returns the joiner's zone.
+  Zone split(NodeId owner, NodeId joiner,
+             const std::optional<Point>& joiner_point = std::nullopt);
+
+  /// Remove `owner`'s leaf and repair the tree.  Requires leaf_count() > 1.
+  Repair leave(NodeId owner);
+
+  /// All live owners (unordered).
+  [[nodiscard]] std::vector<NodeId> owners() const;
+
+  /// Test oracle: zones of all leaves tile the unit cube exactly.
+  [[nodiscard]] bool tiles_unit_cube() const;
+
+ private:
+  TreeNode* leaf_for(NodeId id) const;
+  /// Deepest leftmost pair of sibling leaves in the subtree rooted at t.
+  static TreeNode* find_sibling_leaf_pair(TreeNode* t);
+
+  std::size_t dims_;
+  std::unique_ptr<TreeNode> root_;
+  std::unordered_map<NodeId, TreeNode*> leaves_;
+};
+
+}  // namespace soc::can

@@ -1,0 +1,61 @@
+#include "src/can/router.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace soc::can {
+
+namespace {
+
+void step(CanSpace& space, net::MessageBus& bus, NodeId at,
+          const Point& target, net::MsgType type, std::size_t bytes,
+          std::size_t ttl,
+          const std::shared_ptr<std::function<void(NodeId)>>& done) {
+  if (!space.contains(at)) return;
+  if (space.zone_of(at).contains(target)) {
+    (*done)(at);
+    return;
+  }
+  if (ttl == 0) return;
+
+  // Rank by (containment, box distance, center distance); the strictly
+  // decreasing key avoids cycles and resolves corner/boundary plateaus —
+  // see CanSpace::next_hop for the rationale.
+  NodeId best;
+  double best_d = space.zone_of(at).distance_sq(target);
+  double best_c = space.zone_of(at).center_distance_sq(target);
+  for (const NodeId n : space.neighbors_of(at)) {
+    const Zone& z = space.zone_of(n);
+    if (z.contains(target)) {
+      best = n;
+      best_d = -1.0;
+      best_c = -1.0;
+      break;
+    }
+    const double d = z.distance_sq(target);
+    const double c = z.center_distance_sq(target);
+    if (d < best_d || (d == best_d && c < best_c) ||
+        (d == best_d && c == best_c && best.valid() && n < best)) {
+      best = n;
+      best_d = d;
+      best_c = c;
+    }
+  }
+  if (!best.valid()) return;  // stalled (transient churn state)
+  bus.send(at, best, type, bytes,
+           [&space, &bus, best, target, type, bytes, ttl, done] {
+             step(space, bus, best, target, type, bytes, ttl - 1, done);
+           });
+}
+
+}  // namespace
+
+void route_greedy(CanSpace& space, net::MessageBus& bus, NodeId from,
+                  const Point& target, net::MsgType type, std::size_t bytes,
+                  std::size_t ttl, std::function<void(NodeId)> on_arrive) {
+  auto done =
+      std::make_shared<std::function<void(NodeId)>>(std::move(on_arrive));
+  step(space, bus, from, target, type, bytes, ttl, done);
+}
+
+}  // namespace soc::can

@@ -1,0 +1,22 @@
+// Plain CAN greedy routing over the message bus: one bus message per hop,
+// arriving at the owner of the target point.  (INSCAN's long-link-augmented
+// routing lives in index::IndexSystem::route; this is the vanilla O(n^{1/d})
+// CAN rule used by the KHDN-CAN baseline and available for comparison.)
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "src/can/space.hpp"
+#include "src/net/message_bus.hpp"
+
+namespace soc::can {
+
+/// Route from `from` toward `target`; `on_arrive(duty)` runs at the zone
+/// owner.  The message is silently lost if a hop churns out, greedy
+/// progress stalls, or `ttl` hops are exhausted.
+void route_greedy(CanSpace& space, net::MessageBus& bus, NodeId from,
+                  const Point& target, net::MsgType type, std::size_t bytes,
+                  std::size_t ttl, std::function<void(NodeId)> on_arrive);
+
+}  // namespace soc::can

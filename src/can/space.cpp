@@ -1,0 +1,261 @@
+#include "src/can/space.hpp"
+
+#include <algorithm>
+
+namespace soc::can {
+
+CanSpace::CanSpace(std::size_t dims, Rng rng) : dims_(dims), rng_(rng) {
+  SOC_CHECK(dims > 0 && dims <= kMaxDims);
+}
+
+CanSpace::Member& CanSpace::member(NodeId id) {
+  const auto it = members_.find(id);
+  SOC_CHECK_MSG(it != members_.end(), "unknown member");
+  return it->second;
+}
+
+const CanSpace::Member& CanSpace::member(NodeId id) const {
+  const auto it = members_.find(id);
+  SOC_CHECK_MSG(it != members_.end(), "unknown member");
+  return it->second;
+}
+
+void CanSpace::insert_sorted(std::vector<NodeId>& v, NodeId id) {
+  const auto it = std::lower_bound(v.begin(), v.end(), id);
+  if (it == v.end() || *it != id) v.insert(it, id);
+}
+
+void CanSpace::erase_sorted(std::vector<NodeId>& v, NodeId id) {
+  const auto it = std::lower_bound(v.begin(), v.end(), id);
+  if (it != v.end() && *it == id) v.erase(it);
+}
+
+void CanSpace::refresh_against(NodeId id, const std::vector<NodeId>& candidates) {
+  Member& m = member(id);
+  for (const NodeId c : candidates) {
+    if (c == id || !members_.contains(c)) continue;
+    Member& other = member(c);
+    const bool adjacent = m.zone.adjacency_dim(other.zone).has_value();
+    if (adjacent) {
+      insert_sorted(m.neighbors, c);
+      insert_sorted(other.neighbors, id);
+    } else {
+      erase_sorted(m.neighbors, c);
+      erase_sorted(other.neighbors, id);
+    }
+  }
+}
+
+void CanSpace::drop_from_all_neighbors(NodeId id) {
+  for (const NodeId n : member(id).neighbors) {
+    erase_sorted(member(n).neighbors, id);
+  }
+}
+
+void CanSpace::notify_topology(NodeId id) {
+  if (listener_.on_topology_changed) listener_.on_topology_changed(id);
+}
+
+Point CanSpace::join(NodeId id, std::optional<Point> point_hint) {
+  SOC_CHECK(id.valid());
+  SOC_CHECK_MSG(!members_.contains(id), "node already joined");
+
+  Point p = point_hint.value_or(Point(dims_));
+  if (!point_hint.has_value()) {
+    for (std::size_t i = 0; i < dims_; ++i) p[i] = rng_.uniform();
+  }
+
+  if (!tree_.has_value()) {
+    tree_.emplace(dims_, id);
+    members_.emplace(id, Member{Zone::unit(dims_), {}});
+    notify_topology(id);
+    return p;
+  }
+
+  const NodeId owner = tree_->owner_of(p);
+  tree_->split(owner, id, p);
+
+  Member& owner_m = member(owner);
+  // Candidates for both halves: the splitter's old neighborhood plus the
+  // two halves against each other.
+  std::vector<NodeId> candidates = owner_m.neighbors;
+  candidates.push_back(owner);
+
+  owner_m.zone = tree_->zone_of(owner);
+  members_.emplace(id, Member{tree_->zone_of(id), {}});
+
+  refresh_against(owner, candidates);
+  candidates.push_back(id);  // not used against itself; harmless
+  refresh_against(id, candidates);
+
+  // Records of the splitter that now fall in the joiner's half move over.
+  if (listener_.on_rehome) listener_.on_rehome(owner, id);
+  notify_topology(owner);
+  notify_topology(id);
+  for (const NodeId n : member(id).neighbors) notify_topology(n);
+  return p;
+}
+
+void CanSpace::leave(NodeId id) {
+  SOC_CHECK_MSG(members_.contains(id), "unknown member");
+  if (members_.size() == 1) {
+    members_.clear();
+    tree_.reset();
+    return;
+  }
+
+  const PartitionTree::Repair repair = tree_->leave(id);
+
+  // Collect every node whose zone or neighborhood may change, with their
+  // pre-repair neighbor sets as candidate pools.
+  std::vector<NodeId> affected;
+  affected.push_back(repair.merge_survivor);
+  if (repair.reassigned_to.valid()) affected.push_back(repair.reassigned_to);
+
+  std::vector<NodeId> candidates = member(id).neighbors;
+  for (const NodeId a : affected) {
+    if (!members_.contains(a)) continue;
+    const auto& ns = member(a).neighbors;
+    candidates.insert(candidates.end(), ns.begin(), ns.end());
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  // Records of the departing node move to whoever now owns its old zone:
+  // the reassigned node when there is one, else the merge survivor.
+  const NodeId heir = repair.reassigned_to.valid() ? repair.reassigned_to
+                                                   : repair.merge_survivor;
+  if (listener_.on_rehome) listener_.on_rehome(id, heir);
+
+  drop_from_all_neighbors(id);
+  members_.erase(id);
+
+  // Apply new zones, then refresh adjacency for all affected nodes against
+  // the combined candidate pool.
+  for (const NodeId a : affected) {
+    member(a).zone = tree_->zone_of(a);
+  }
+  // The candidate pool (old neighborhoods of the departed node and of every
+  // affected node) covers all adjacency pairs that can appear or disappear:
+  // zone growth never loses neighbors, and the relocated node's new
+  // neighborhood is a subset of the departed node's old one.
+  for (const NodeId a : affected) {
+    refresh_against(a, candidates);
+  }
+  // When y (reassigned_to) vacated its old zone to z, records y held move
+  // to z as part of the same repair.
+  if (repair.reassigned_to.valid() && listener_.on_rehome) {
+    listener_.on_rehome(repair.reassigned_to, repair.merge_survivor);
+  }
+
+  for (const NodeId a : affected) notify_topology(a);
+  for (const NodeId c : candidates) {
+    if (members_.contains(c)) notify_topology(c);
+  }
+}
+
+const Zone& CanSpace::zone_of(NodeId id) const { return member(id).zone; }
+
+NodeId CanSpace::owner_of(const Point& p) const {
+  SOC_CHECK(tree_.has_value());
+  return tree_->owner_of(p);
+}
+
+const std::vector<NodeId>& CanSpace::neighbors_of(NodeId id) const {
+  return member(id).neighbors;
+}
+
+std::vector<NodeId> CanSpace::directional_neighbors(NodeId id, std::size_t dim,
+                                                    Direction dir) const {
+  SOC_CHECK(dim < dims_);
+  const Member& m = member(id);
+  std::vector<NodeId> out;
+  for (const NodeId n : m.neighbors) {
+    const Zone& nz = member(n).zone;
+    const auto adim = m.zone.adjacency_dim(nz);
+    if (!adim.has_value() || *adim != dim) continue;
+    const bool positive = m.zone.positive_side(nz, dim);
+    if ((dir == Direction::kPositive) == positive) out.push_back(n);
+  }
+  return out;
+}
+
+NodeId CanSpace::next_hop(NodeId from, const Point& target) const {
+  const Member& m = member(from);
+  if (m.zone.contains(target)) return from;
+  // Candidates are ranked by (containment, box distance, center distance):
+  // a zone owning the target wins outright; otherwise strictly smaller box
+  // distance wins; center distance breaks plateaus — in particular targets
+  // on zone corners, where several non-owning zones all report box
+  // distance 0 and the owner may not be adjacent to the current node.
+  // The key strictly decreases every hop, so routing cannot cycle.
+  NodeId best = from;
+  double best_d = m.zone.distance_sq(target);
+  double best_c = m.zone.center_distance_sq(target);
+  for (const NodeId n : m.neighbors) {
+    const Zone& z = member(n).zone;
+    if (z.contains(target)) return n;
+    const double d = z.distance_sq(target);
+    const double c = z.center_distance_sq(target);
+    if (d < best_d || (d == best_d && c < best_c) ||
+        (d == best_d && c == best_c && best != from && n < best)) {
+      best = n;
+      best_d = d;
+      best_c = c;
+    }
+  }
+  SOC_CHECK_MSG(best != from, "greedy routing stalled");
+  return best;
+}
+
+std::vector<NodeId> CanSpace::route(NodeId from, const Point& target) const {
+  std::vector<NodeId> path;
+  NodeId cur = from;
+  while (!member(cur).zone.contains(target)) {
+    cur = next_hop(cur, target);
+    path.push_back(cur);
+    SOC_CHECK_MSG(path.size() <= members_.size(), "routing loop");
+  }
+  return path;
+}
+
+std::vector<NodeId> CanSpace::member_ids() const {
+  std::vector<NodeId> out;
+  out.reserve(members_.size());
+  for (const auto& [id, _] : members_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+NodeId CanSpace::random_member(Rng& rng) const {
+  const auto ids = member_ids();
+  SOC_CHECK(!ids.empty());
+  return ids[rng.pick_index(ids.size())];
+}
+
+bool CanSpace::verify_invariants() const {
+  if (members_.empty()) return true;
+  if (!tree_->tiles_unit_cube()) return false;
+  const auto ids = member_ids();
+  for (const NodeId a : ids) {
+    if (member(a).zone == tree_->zone_of(a)) continue;
+    return false;
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const Member& mi = member(ids[i]);
+    for (std::size_t j = i + 1; j < ids.size(); ++j) {
+      const Member& mj = member(ids[j]);
+      const bool adjacent = mi.zone.adjacency_dim(mj.zone).has_value();
+      const bool listed_ij = std::binary_search(mi.neighbors.begin(),
+                                                mi.neighbors.end(), ids[j]);
+      const bool listed_ji = std::binary_search(mj.neighbors.begin(),
+                                                mj.neighbors.end(), ids[i]);
+      if (adjacent != listed_ij || adjacent != listed_ji) return false;
+      if (mi.zone.overlaps(mj.zone)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace soc::can

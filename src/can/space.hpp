@@ -1,0 +1,109 @@
+// CanSpace: membership, zone assignment and neighbor-table maintenance for
+// the CAN overlay.  It plays the role of the overlay's distributed
+// maintenance machinery (join splits, departure takeover, neighbor-set
+// refresh); protocol traffic still flows hop-by-hop through MessageBus.
+//
+// Neighbor sets are maintained incrementally on every join/leave from local
+// candidate sets (the union of the affected zones' previous neighbors), the
+// same information real CAN nodes exchange; an O(n²) verifier used by the
+// tests checks symmetry and completeness after arbitrary churn.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/can/geometry.hpp"
+#include "src/can/partition_tree.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/types.hpp"
+
+namespace soc::can {
+
+/// Direction along a dimension, from a zone's own point of view.
+enum class Direction : std::uint8_t { kNegative, kPositive };
+
+class CanSpace {
+ public:
+  /// Callbacks the record/index layers hook to stay consistent with zone
+  /// ownership changes.
+  struct Listener {
+    /// All records of `from` that now fall inside `to`'s zone must move.
+    std::function<void(NodeId from, NodeId to)> on_rehome;
+    /// The node's zone or neighbor set changed (indices may be stale).
+    std::function<void(NodeId)> on_topology_changed;
+  };
+
+  CanSpace(std::size_t dims, Rng rng);
+
+  [[nodiscard]] std::size_t dims() const { return dims_; }
+  [[nodiscard]] std::size_t size() const { return members_.size(); }
+  [[nodiscard]] bool contains(NodeId id) const {
+    return members_.contains(id);
+  }
+
+  void set_listener(Listener listener) { listener_ = std::move(listener); }
+
+  /// First node bootstraps the space; later joins split the zone owning a
+  /// random point (or the provided hint).  Returns the join point used.
+  Point join(NodeId id, std::optional<Point> point_hint = std::nullopt);
+
+  /// Node departs; its zone is merged/reassigned per the partition tree.
+  void leave(NodeId id);
+
+  [[nodiscard]] const Zone& zone_of(NodeId id) const;
+  [[nodiscard]] NodeId owner_of(const Point& p) const;
+
+  /// Adjacent neighbors (paper definition).
+  [[nodiscard]] const std::vector<NodeId>& neighbors_of(NodeId id) const;
+
+  /// Neighbors adjacent along `dim` on the given side.
+  [[nodiscard]] std::vector<NodeId> directional_neighbors(
+      NodeId id, std::size_t dim, Direction dir) const;
+
+  /// Greedy CAN routing step: the neighbor whose zone is closest to the
+  /// target (self if the local zone already contains it).  Deterministic
+  /// tie-break on node id.
+  [[nodiscard]] NodeId next_hop(NodeId from, const Point& target) const;
+
+  /// Full greedy route (for hop-count analysis and tests).  Empty when
+  /// `from` already owns the target.
+  [[nodiscard]] std::vector<NodeId> route(NodeId from,
+                                          const Point& target) const;
+
+  [[nodiscard]] std::vector<NodeId> member_ids() const;
+
+  /// A uniformly random member (for bootstrap contacts).
+  [[nodiscard]] NodeId random_member(Rng& rng) const;
+
+  /// Test oracle: zones tile the cube, neighbor sets are exactly the
+  /// adjacency relation and symmetric.
+  [[nodiscard]] bool verify_invariants() const;
+
+ private:
+  struct Member {
+    Zone zone;
+    std::vector<NodeId> neighbors;  // sorted by id
+  };
+
+  Member& member(NodeId id);
+  [[nodiscard]] const Member& member(NodeId id) const;
+
+  /// Recompute adjacency between `id` and every candidate, updating both
+  /// sides' sorted neighbor lists.
+  void refresh_against(NodeId id, const std::vector<NodeId>& candidates);
+  static void insert_sorted(std::vector<NodeId>& v, NodeId id);
+  static void erase_sorted(std::vector<NodeId>& v, NodeId id);
+  void drop_from_all_neighbors(NodeId id);
+  void notify_topology(NodeId id);
+
+  std::size_t dims_;
+  Rng rng_;
+  std::optional<PartitionTree> tree_;
+  std::unordered_map<NodeId, Member> members_;
+  Listener listener_;
+};
+
+}  // namespace soc::can

@@ -1,0 +1,38 @@
+// Lightweight contract checks.  SOC_CHECK is always on (simulation
+// correctness beats the negligible branch cost); SOC_DCHECK compiles out in
+// release builds for hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace soc::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "SOC_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace soc::detail
+
+#define SOC_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) [[unlikely]]                                        \
+      ::soc::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define SOC_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr)) [[unlikely]]                                        \
+      ::soc::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define SOC_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define SOC_DCHECK(expr) SOC_CHECK(expr)
+#endif

@@ -1,0 +1,74 @@
+#include "src/common/logging.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <mutex>
+
+namespace soc {
+
+namespace {
+
+std::atomic<int> g_level{-1};  // -1 = uninitialized
+std::mutex g_write_mutex;
+
+const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+int initial_level() {
+  if (const char* env = std::getenv("SOC_LOG")) {
+    return static_cast<int>(Logger::parse_level(env));
+  }
+  return static_cast<int>(LogLevel::kWarn);
+}
+
+}  // namespace
+
+LogLevel Logger::level() {
+  int lvl = g_level.load(std::memory_order_relaxed);
+  if (lvl < 0) {
+    lvl = initial_level();
+    g_level.store(lvl, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(lvl);
+}
+
+void Logger::set_level(LogLevel lvl) {
+  g_level.store(static_cast<int>(lvl), std::memory_order_relaxed);
+}
+
+void Logger::write(LogLevel lvl, const std::string& msg) {
+  if (lvl < level()) return;
+  const std::scoped_lock lock(g_write_mutex);
+  std::fprintf(stderr, "[%s] %s\n", level_name(lvl), msg.c_str());
+}
+
+LogLevel Logger::parse_level(const std::string& s) {
+  std::string t = s;
+  std::transform(t.begin(), t.end(), t.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (t == "trace") return LogLevel::kTrace;
+  if (t == "debug") return LogLevel::kDebug;
+  if (t == "info") return LogLevel::kInfo;
+  if (t == "warn") return LogLevel::kWarn;
+  if (t == "error") return LogLevel::kError;
+  return LogLevel::kOff;
+}
+
+}  // namespace soc

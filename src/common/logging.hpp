@@ -1,0 +1,47 @@
+// Minimal leveled logger.  Simulations are silent by default; raise the
+// level via Logger::set_level or the SOC_LOG env var to trace protocol
+// decisions.
+#pragma once
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace soc {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel lvl);
+  static void write(LogLevel lvl, const std::string& msg);
+
+  /// Parse "trace|debug|info|warn|error|off" (case-insensitive).
+  static LogLevel parse_level(const std::string& s);
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel lvl) : lvl_(lvl) {}
+  ~LogLine() { Logger::write(lvl_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel lvl_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace soc
+
+#define SOC_LOG(lvl)                                 \
+  if (::soc::LogLevel::lvl < ::soc::Logger::level()) \
+    ;                                                \
+  else                                               \
+    ::soc::detail::LogLine(::soc::LogLevel::lvl)

@@ -1,0 +1,31 @@
+#include "src/common/resource_vector.hpp"
+
+#include <sstream>
+
+namespace soc {
+
+std::string ResourceVector::to_string() const {
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (i) os << ", ";
+    os << v_[i];
+  }
+  os << ')';
+  return os.str();
+}
+
+double best_fit_slack(const ResourceVector& availability,
+                      const ResourceVector& demand,
+                      const ResourceVector& capacity_scale) {
+  SOC_CHECK(availability.size() == demand.size());
+  SOC_CHECK(availability.size() == capacity_scale.size());
+  double slack = 0.0;
+  for (std::size_t i = 0; i < availability.size(); ++i) {
+    const double scale = capacity_scale[i] > 0.0 ? capacity_scale[i] : 1.0;
+    slack += (availability[i] - demand[i]) / scale;
+  }
+  return slack / static_cast<double>(availability.size());
+}
+
+}  // namespace soc

@@ -1,0 +1,64 @@
+// Fundamental identifier and time types shared by every subsystem.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace soc {
+
+/// Simulated time in microseconds.  64-bit integer time keeps the
+/// event-driven engine exactly deterministic across platforms (no FP drift).
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kSimTimeNever = std::numeric_limits<SimTime>::max();
+
+/// Convert seconds (double) to SimTime microseconds.
+constexpr SimTime seconds(double s) { return static_cast<SimTime>(s * 1e6); }
+/// Convert SimTime back to seconds.
+constexpr double to_seconds(SimTime t) { return static_cast<double>(t) * 1e-6; }
+/// Convert milliseconds to SimTime.
+constexpr SimTime millis(double ms) { return static_cast<SimTime>(ms * 1e3); }
+/// Convert SimTime to hours (used by the hourly metric series).
+constexpr double to_hours(SimTime t) { return to_seconds(t) / 3600.0; }
+
+/// Logical identifier of a host machine in the Self-Organizing Cloud.
+/// Stable for the lifetime of one simulated node incarnation; a node that
+/// churns out and rejoins receives a fresh id.
+struct NodeId {
+  std::uint32_t value = kInvalid;
+
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+
+  constexpr NodeId() = default;
+  constexpr explicit NodeId(std::uint32_t v) : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const { return value != kInvalid; }
+  constexpr auto operator<=>(const NodeId&) const = default;
+};
+
+/// Identifier of a task: origin node + per-origin sequence number.
+struct TaskId {
+  NodeId origin;
+  std::uint32_t seq = 0;
+
+  constexpr auto operator<=>(const TaskId&) const = default;
+};
+
+}  // namespace soc
+
+template <>
+struct std::hash<soc::NodeId> {
+  std::size_t operator()(const soc::NodeId& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<soc::TaskId> {
+  std::size_t operator()(const soc::TaskId& id) const noexcept {
+    const std::uint64_t mix =
+        (static_cast<std::uint64_t>(id.origin.value) << 32) | id.seq;
+    return std::hash<std::uint64_t>{}(mix);
+  }
+};

@@ -1,0 +1,499 @@
+#include "src/core/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/logging.hpp"
+#include "src/core/khdn_protocol.hpp"
+#include "src/core/newscast_protocol.hpp"
+#include "src/core/pidcan_protocol.hpp"
+
+namespace soc::core {
+
+std::string protocol_name(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kSidCan:
+      return "SID-CAN";
+    case ProtocolKind::kHidCan:
+      return "HID-CAN";
+    case ProtocolKind::kSidCanSos:
+      return "SID-CAN+SoS";
+    case ProtocolKind::kHidCanSos:
+      return "HID-CAN+SoS";
+    case ProtocolKind::kSidCanVd:
+      return "SID-CAN+VD";
+    case ProtocolKind::kNewscast:
+      return "Newscast";
+    case ProtocolKind::kKhdnCan:
+      return "KHDN-CAN";
+  }
+  return "?";
+}
+
+// Lifecycle context for one submitted task.
+struct Experiment::TaskRun {
+  psm::TaskSpec spec;
+  std::size_t attempts = 0;       // query attempts so far
+  std::size_t dispatches = 0;     // dispatch attempts so far
+  bool settled = false;           // placed or failed (guards timeouts)
+  std::unordered_set<NodeId> tried;  // providers that already rejected us
+  std::vector<Discovered> backlog;   // untried candidates from the last query
+};
+
+Experiment::Experiment(ExperimentConfig config)
+    : config_(config), sim_(config.seed), rng_(sim_.rng().fork("experiment")),
+      node_gen_(config.nodegen),
+      task_gen_([&config] {
+        workload::TaskGenConfig tg = config.taskgen;
+        tg.demand_ratio = config.demand_ratio;
+        return tg;
+      }()),
+      avg_capacity_(psm::kDims) {
+  topology_ = std::make_unique<net::Topology>(config_.topology,
+                                              rng_.fork("topology"));
+  bus_ = std::make_unique<net::MessageBus>(sim_, *topology_);
+  bus_->set_liveness([this](NodeId id) {
+    const auto it = hosts_.find(id);
+    return it != hosts_.end() && it->second.alive;
+  });
+
+  const ResourceVector cmax = node_gen_.cmax();
+  const std::size_t n = config_.nodes;
+  switch (config_.protocol) {
+    case ProtocolKind::kSidCan:
+    case ProtocolKind::kHidCan:
+    case ProtocolKind::kSidCanSos:
+    case ProtocolKind::kHidCanSos:
+    case ProtocolKind::kSidCanVd: {
+      PidCanOptions opt;
+      opt.inscan = config_.inscan;
+      opt.query = config_.query;
+      const bool hopping = config_.protocol == ProtocolKind::kHidCan ||
+                           config_.protocol == ProtocolKind::kHidCanSos;
+      opt.inscan.diffusion = hopping ? index::DiffusionMethod::kHopping
+                                     : index::DiffusionMethod::kSpreading;
+      opt.slack_on_submission =
+          config_.protocol == ProtocolKind::kSidCanSos ||
+          config_.protocol == ProtocolKind::kHidCanSos;
+      opt.virtual_dimension = config_.protocol == ProtocolKind::kSidCanVd;
+      // Join routing cost ≈ the CAN route length at this scale.
+      opt.maintenance_msgs_per_join = static_cast<std::size_t>(
+          std::ceil(std::pow(static_cast<double>(std::max<std::size_t>(n, 2)),
+                             1.0 / static_cast<double>(psm::kDims))));
+      protocol_ = std::make_unique<PidCanProtocol>(
+          sim_, *bus_, cmax, opt, rng_.fork("pidcan"));
+      break;
+    }
+    case ProtocolKind::kNewscast: {
+      gossip::NewscastConfig gc = config_.newscast;
+      if (gc.view_size == 0 || gc.view_size == 11) {
+        gc.view_size = std::max<std::size_t>(
+            4, static_cast<std::size_t>(
+                   std::ceil(std::log2(static_cast<double>(std::max<std::size_t>(n, 2))))));
+      }
+      protocol_ = std::make_unique<NewscastProtocol>(sim_, *bus_, gc,
+                                                     rng_.fork("newscast"));
+      break;
+    }
+    case ProtocolKind::kKhdnCan:
+      protocol_ = std::make_unique<KhdnProtocol>(
+          sim_, *bus_, cmax, config_.khdn, rng_.fork("khdn"));
+      break;
+  }
+
+  protocol_->set_availability_source(
+      [this](NodeId id) -> std::optional<ResourceVector> {
+        const auto it = hosts_.find(id);
+        if (it == hosts_.end() || !it->second.alive) return std::nullopt;
+        return it->second.scheduler->availability();
+      });
+}
+
+Experiment::~Experiment() = default;
+
+NodeId Experiment::spawn_host() {
+  const NodeId id = topology_->add_host();
+  Host host;
+  host.capacity = node_gen_.generate(rng_);
+  host.scheduler = std::make_unique<psm::PsmScheduler>(sim_, host.capacity,
+                                                       config_.overhead);
+  host.scheduler->set_finish_callback(
+      [this, id](const psm::CompletionInfo& info) {
+        on_host_finished_task(id, info);
+      });
+  hosts_.emplace(id, std::move(host));
+  ++alive_count_;
+  protocol_->on_join(id);
+  return id;
+}
+
+void Experiment::setup() {
+  SOC_CHECK(!setup_done_);
+  setup_done_ = true;
+
+  RunningStats wan;
+  ResourceVector cap_sum(psm::kDims);
+  for (std::size_t i = 0; i < config_.nodes; ++i) {
+    const NodeId id = spawn_host();
+    cap_sum += hosts_.at(id).capacity;
+    wan.add(topology_->wan_bandwidth_mbps(id));
+    start_arrivals(id);
+  }
+  avg_capacity_ = cap_sum * (1.0 / static_cast<double>(config_.nodes));
+  avg_wan_mbps_ = wan.mean();
+  if (config_.churn_dynamic_degree > 0.0) start_churn();
+  if (config_.churn_task_policy == ChurnTaskPolicy::kCheckpointRestart) {
+    start_checkpointing();
+  }
+}
+
+void Experiment::start_arrivals(NodeId id) {
+  // Recursive Poisson arrival chain; stops when the host churns out or the
+  // submission horizon passes.
+  //
+  // The inter-arrival mean scales inversely with the demand ratio λ: the
+  // paper reports 57600 submitted tasks for one day at λ=1 (3000 s mean)
+  // but 14362 at λ=0.25 — i.e. 3000/λ seconds — so lighter demands also
+  // arrive proportionally less often.
+  const double mean_s = config_.mean_interarrival_s /
+                        std::max(config_.demand_ratio, 1e-6);
+  auto schedule_next = std::make_shared<std::function<void()>>();
+  *schedule_next = [this, id, schedule_next, mean_s] {
+    const SimTime delay = workload::next_arrival_delay(mean_s, rng_);
+    if (sim_.now() + delay > config_.duration) return;
+    sim_.schedule_after(delay, [this, id, schedule_next] {
+      const auto it = hosts_.find(id);
+      if (it == hosts_.end() || !it->second.alive) return;
+      submit_task(id);
+      (*schedule_next)();
+    });
+  };
+  (*schedule_next)();
+}
+
+void Experiment::submit_task(NodeId origin) {
+  Host& host = hosts_.at(origin);
+  const psm::TaskSpec spec =
+      task_gen_.generate(origin, host.next_seq++, sim_.now(), rng_);
+  metrics_.on_generated(sim_.now());
+  auto run = std::make_shared<TaskRun>();
+  run->spec = spec;
+  begin_query(run);
+}
+
+void Experiment::begin_query(const std::shared_ptr<TaskRun>& run) {
+  ++run->attempts;
+  const SimTime started = sim_.now();
+  protocol_->query(run->spec.origin, run->spec.expectation,
+                   config_.want_results,
+                   [this, run, started](std::vector<Discovered> candidates) {
+                     query_delay_s_.add(to_seconds(sim_.now() - started));
+                     on_candidates(run, std::move(candidates));
+                   });
+}
+
+void Experiment::on_candidates(const std::shared_ptr<TaskRun>& run,
+                               std::vector<Discovered> candidates) {
+  if (run->settled) return;
+  if (candidates.empty() && run->backlog.empty()) ++empty_query_results_;
+  // Keep any still-untried candidates from earlier attempts as fallbacks.
+  for (auto& c : candidates) run->backlog.push_back(std::move(c));
+
+  // Best-fit selection: among candidates whose advertised availability
+  // dominates the demand (and who have not already rejected this task),
+  // prefer the tightest fit so large availabilities stay free for large
+  // future demands.
+  const ResourceVector& e = run->spec.expectation;
+  const ResourceVector scale = node_gen_.cmax();
+  NodeId best;
+  double best_slack = std::numeric_limits<double>::infinity();
+  for (const Discovered& c : run->backlog) {
+    if (run->tried.contains(c.provider)) continue;
+    if (!c.availability.dominates(e)) continue;
+    const double slack = best_fit_slack(c.availability, e, scale);
+    if (slack < best_slack) {
+      best_slack = slack;
+      best = c.provider;
+    }
+  }
+  if (!best.valid()) {
+    retry_or_fail(run);
+    return;
+  }
+  run->tried.insert(best);
+  dispatch(run, best);
+}
+
+void Experiment::dispatch(const std::shared_ptr<TaskRun>& run,
+                          NodeId provider) {
+  ++run->dispatches;
+  const NodeId origin = run->spec.origin;
+
+  // Guard against a dead provider or lost messages with a timeout.
+  auto responded = std::make_shared<bool>(false);
+  sim_.schedule_after(config_.dispatch_timeout, [this, run, responded] {
+    if (*responded || run->settled) return;
+    *responded = true;
+    on_candidates(run, {});  // fall back to the next untried candidate
+  });
+
+  bus_->send(
+      origin, provider, net::MsgType::kDispatch,
+      static_cast<std::size_t>(run->spec.input_bytes),
+      [this, run, provider, origin, responded] {
+        const auto it = hosts_.find(provider);
+        const bool admitted = it != hosts_.end() && it->second.alive &&
+                              it->second.scheduler->admit(run->spec);
+        if (admitted) {
+          in_flight_.emplace(run->spec.id, Placement{run->spec, provider});
+        }
+        // Either way the provider's availability picture changed (or the
+        // advertised record proved stale): push a fresh state update so
+        // other requesters stop chasing it.
+        protocol_->republish(provider);
+        // Admission verdict travels back to the requester.
+        bus_->send(provider, origin, net::MsgType::kDispatch, 64,
+                   [this, run, responded, admitted] {
+                     if (*responded || run->settled) return;
+                     *responded = true;
+                     if (admitted) {
+                       run->settled = true;
+                       dispatch_attempts_.add(
+                           static_cast<double>(run->dispatches));
+                     } else {
+                       // Contention: someone claimed the node first
+                       // (Inequality (2) no longer holds).  Try the next
+                       // untried candidate, then re-query.
+                       ++dispatch_rejects_;
+                       on_candidates(run, {});
+                     }
+                   });
+      });
+}
+
+void Experiment::retry_or_fail(const std::shared_ptr<TaskRun>& run) {
+  if (run->settled) return;
+  const auto it = hosts_.find(run->spec.origin);
+  const bool origin_alive = it != hosts_.end() && it->second.alive;
+  if (!origin_alive || run->attempts > config_.max_query_retries) {
+    run->settled = true;
+    metrics_.on_failed(sim_.now());
+    if (config_.diagnose_failures) {
+      // Ground truth at failure time: could any alive host admit the task?
+      bool feasible = false;
+      for (const auto& [_, h] : hosts_) {
+        if (h.alive && h.scheduler->can_admit(run->spec.expectation)) {
+          feasible = true;
+          break;
+        }
+      }
+      ++(feasible ? fail_feasible_ : fail_infeasible_);
+      // And could a *perfect* search over the published records have found
+      // it?  If not, the failure is publication lag, not search quality.
+      if (feasible &&
+          protocol_->discoverable(run->spec.expectation, sim_.now()) == 0) {
+        ++fail_undiscoverable_;
+      }
+    }
+    return;
+  }
+  sim_.schedule_after(config_.retry_backoff,
+                      [this, run] { begin_query(run); });
+}
+
+double Experiment::efficiency_of(const psm::TaskSpec& spec,
+                                 SimTime finished_at) const {
+  // e_ij: expected execution time over real completion time, the expected
+  // time estimated from the load amount, the system-wide average node
+  // capacity and the average network bandwidth (§IV.A).
+  double expected_s = 0.0;
+  for (std::size_t k = 0; k < psm::kRateDims; ++k) {
+    if (spec.workload[k] <= 0.0) continue;
+    expected_s = std::max(expected_s, spec.workload[k] / avg_capacity_[k]);
+  }
+  expected_s += spec.input_bytes * 8.0 / (avg_wan_mbps_ * 1e6);
+  const double real_s = to_seconds(finished_at - spec.submit_time);
+  if (real_s <= 0.0) return 1.0;
+  return expected_s / real_s;
+}
+
+void Experiment::on_host_finished_task(NodeId /*host*/,
+                                       const psm::CompletionInfo& info) {
+  const auto it = in_flight_.find(info.id);
+  if (it == in_flight_.end()) return;
+  metrics_.on_finished(sim_.now(),
+                       efficiency_of(it->second.spec, info.finished_at));
+  in_flight_.erase(it);
+  checkpoints_.erase(info.id);
+}
+
+void Experiment::start_churn() {
+  // Node-churning events uniformly spread in time: within every window of
+  // `churn_window_s` (one mean task lifetime), `dynamic_degree · n` nodes
+  // depart and the same number of fresh nodes join.
+  const double events_per_s = config_.churn_dynamic_degree *
+                              static_cast<double>(config_.nodes) /
+                              config_.churn_window_s;
+  if (events_per_s <= 0.0) return;
+  const double mean_gap_s = 1.0 / events_per_s;
+
+  auto churn_once = std::make_shared<std::function<void()>>();
+  *churn_once = [this, mean_gap_s, churn_once] {
+    const SimTime delay =
+        std::max<SimTime>(seconds(rng_.exponential(mean_gap_s)), 1);
+    if (sim_.now() + delay > config_.duration) return;
+    sim_.schedule_after(delay, [this, churn_once] {
+      // Departure of a random alive node...
+      std::vector<NodeId> alive;
+      alive.reserve(hosts_.size());
+      for (const auto& [id, h] : hosts_) {
+        if (h.alive) alive.push_back(id);
+      }
+      std::sort(alive.begin(), alive.end());
+      if (alive.size() > 2) {
+        on_host_departed(alive[rng_.pick_index(alive.size())]);
+      }
+      // ...and a simultaneous fresh join keeps the population stable.
+      const NodeId joiner = spawn_host();
+      start_arrivals(joiner);
+      (*churn_once)();
+    });
+  };
+  (*churn_once)();
+}
+
+void Experiment::on_host_departed(NodeId victim) {
+  Host& host = hosts_.at(victim);
+  host.alive = false;
+  --alive_count_;
+  protocol_->on_leave(victim);
+
+  switch (config_.churn_task_policy) {
+    case ChurnTaskPolicy::kDetachedExecution:
+      // The paper's §IV.B model: running tasks keep executing to
+      // completion; churn only perturbs overlay/discovery state.
+      break;
+    case ChurnTaskPolicy::kTasksLost: {
+      for (const auto& progress : host.scheduler->abort_all_with_progress()) {
+        ++tasks_killed_by_churn_;
+        double done = 0.0;
+        for (std::size_t k = 0; k < psm::kRateDims; ++k) {
+          done += progress.spec.workload[k] - progress.remaining[k];
+        }
+        wasted_work_ += done;
+        metrics_.on_failed(sim_.now());
+        in_flight_.erase(progress.spec.id);
+        checkpoints_.erase(progress.spec.id);
+      }
+      break;
+    }
+    case ChurnTaskPolicy::kCheckpointRestart: {
+      for (const auto& progress : host.scheduler->abort_all_with_progress()) {
+        ++tasks_killed_by_churn_;
+        in_flight_.erase(progress.spec.id);
+        restart_from_checkpoint(progress);
+      }
+      break;
+    }
+  }
+}
+
+void Experiment::restart_from_checkpoint(
+    const psm::PsmScheduler::Progress& progress) {
+  const TaskId id = progress.spec.id;
+  // Work since the last snapshot is lost and must be redone.
+  const auto cp = checkpoints_.lookup(id);
+  if (cp.has_value()) {
+    wasted_work_ += checkpoints_.lost_work(id, progress.remaining);
+  } else {
+    // Never checkpointed: everything done so far is lost.
+    for (std::size_t k = 0; k < psm::kRateDims; ++k) {
+      wasted_work_ += progress.spec.workload[k] - progress.remaining[k];
+    }
+  }
+
+  const auto origin_it = hosts_.find(progress.spec.origin);
+  const bool origin_alive =
+      origin_it != hosts_.end() && origin_it->second.alive;
+  const std::uint32_t restarts = checkpoints_.note_restart(id, sim_.now());
+  if (!origin_alive || restarts > config_.checkpoint.max_restarts) {
+    metrics_.on_failed(sim_.now());
+    checkpoints_.erase(id);
+    return;
+  }
+  ++checkpoint_restarts_;
+
+  // Rebuild the spec from the last snapshot (full workload if none) and
+  // push it back through the regular query → dispatch pipeline.
+  psm::TaskSpec spec = progress.spec;
+  if (cp.has_value()) spec.workload = cp->remaining;
+  auto run = std::make_shared<TaskRun>();
+  run->spec = spec;
+  begin_query(run);
+}
+
+void Experiment::start_checkpointing() {
+  sim_.schedule_periodic(config_.checkpoint.period, [this] {
+    // Snapshot every placed task whose provider is still alive; the
+    // snapshot travels provider → origin as one message.
+    for (const auto& [id, placement] : in_flight_) {
+      const auto host_it = hosts_.find(placement.provider);
+      if (host_it == hosts_.end() || !host_it->second.alive) continue;
+      const auto remaining = host_it->second.scheduler->remaining_of(id);
+      if (!remaining.has_value()) continue;
+      ++checkpoint_snapshots_;
+      const TaskId task_id = id;
+      bus_->send(placement.provider, placement.spec.origin,
+                 net::MsgType::kDispatch, config_.checkpoint.snapshot_bytes,
+                 [this, task_id, r = *remaining] {
+                   checkpoints_.record(task_id, r, sim_.now());
+                 });
+    }
+    return true;
+  });
+}
+
+void Experiment::run() {
+  if (!setup_done_) setup();
+  sim_.run_until(config_.duration);
+}
+
+std::size_t Experiment::alive_nodes() const { return alive_count_; }
+
+ExperimentResults Experiment::results() const {
+  ExperimentResults r;
+  r.protocol = protocol_->name();
+  r.series = metrics_.series(config_.duration, config_.sample_step);
+  r.generated = metrics_.generated();
+  r.finished = metrics_.finished();
+  r.failed = metrics_.failed();
+  r.t_ratio = metrics_.t_ratio();
+  r.f_ratio = metrics_.f_ratio();
+  r.fairness = metrics_.fairness();
+  r.total_messages = bus_->stats().total_sent();
+  r.msg_cost_per_node = bus_->stats().per_node_cost(
+      std::max<std::size_t>(config_.nodes, 1));
+  r.avg_query_delay_s = query_delay_s_.mean();
+  r.avg_dispatch_attempts = dispatch_attempts_.mean();
+  r.events_executed = sim_.events_executed();
+  r.fail_infeasible = fail_infeasible_;
+  r.fail_feasible = fail_feasible_;
+  r.fail_undiscoverable = fail_undiscoverable_;
+  r.empty_query_results = empty_query_results_;
+  r.dispatch_rejects = dispatch_rejects_;
+  r.tasks_killed_by_churn = tasks_killed_by_churn_;
+  r.checkpoint_restarts = checkpoint_restarts_;
+  r.checkpoint_snapshots = checkpoint_snapshots_;
+  r.wasted_work_rate_seconds = wasted_work_;
+  return r;
+}
+
+ExperimentResults run_experiment(const ExperimentConfig& config) {
+  Experiment ex(config);
+  ex.setup();
+  ex.run();
+  return ex.results();
+}
+
+}  // namespace soc::core

@@ -1,0 +1,210 @@
+// The Self-Organizing Cloud experiment driver: builds the host population
+// (Table I), runs Poisson task submission (Table II), drives the full task
+// lifecycle — query → best-fit selection → dispatch → admission re-check
+// (Inequality 2, where multi-dimensional contention bites) → PSM execution
+// — plus node churn, and reports the paper's metrics.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/protocol.hpp"
+#include "src/gossip/newscast.hpp"
+#include "src/index/inscan.hpp"
+#include "src/khdn/khdn.hpp"
+#include "src/metrics/task_metrics.hpp"
+#include "src/net/message_bus.hpp"
+#include "src/net/topology.hpp"
+#include "src/psm/checkpoint.hpp"
+#include "src/psm/scheduler.hpp"
+#include "src/query/query_engine.hpp"
+#include "src/workload/generator.hpp"
+
+namespace soc::core {
+
+/// The protocols compared in §IV.
+enum class ProtocolKind : std::uint8_t {
+  kSidCan,       ///< spreading index diffusion
+  kHidCan,       ///< hopping index diffusion (the paper's recommendation)
+  kSidCanSos,    ///< SID + Slack-on-Submission
+  kHidCanSos,    ///< HID + Slack-on-Submission
+  kSidCanVd,     ///< SID + virtual dimension [27]
+  kNewscast,     ///< gossip baseline
+  kKhdnCan,      ///< K-hop DHT-neighbor baseline
+};
+
+[[nodiscard]] std::string protocol_name(ProtocolKind kind);
+
+/// What happens to tasks running on a host that churns out of the overlay.
+enum class ChurnTaskPolicy : std::uint8_t {
+  /// The paper's §IV.B model: churn only removes overlay/discovery state;
+  /// running tasks execute to completion (execution fault-tolerance is
+  /// future work there).
+  kDetachedExecution,
+  /// Pessimistic model: tasks die with their host and count as failed.
+  kTasksLost,
+  /// The paper's named future-work extension: periodic checkpoints flow
+  /// back to the origin, which re-queries and restarts from the last
+  /// snapshot when the execution host departs.
+  kCheckpointRestart,
+};
+
+/// Parameters of the checkpoint-restart extension.
+struct CheckpointConfig {
+  SimTime period = seconds(300);     ///< snapshot cadence per running task
+  std::size_t max_restarts = 3;      ///< give up after this many restarts
+  std::size_t snapshot_bytes = 4096; ///< checkpoint message size
+};
+
+struct ExperimentConfig {
+  ProtocolKind protocol = ProtocolKind::kHidCan;
+  std::size_t nodes = 512;
+  double demand_ratio = 0.5;                 ///< λ
+  SimTime duration = seconds(21600);         ///< paper: 86400 (one day)
+  SimTime sample_step = seconds(3600);       ///< hourly series
+  double mean_interarrival_s = 3000.0;       ///< Poisson per node
+  double churn_dynamic_degree = 0.0;         ///< Fig. 8's dynamic degree
+  double churn_window_s = 3000.0;            ///< one task lifetime
+  ChurnTaskPolicy churn_task_policy = ChurnTaskPolicy::kDetachedExecution;
+  CheckpointConfig checkpoint;
+  std::uint64_t seed = 1;
+
+  std::size_t want_results = 1;              ///< δ (first-k)
+  std::size_t max_query_retries = 2;
+  SimTime retry_backoff = seconds(20);
+  SimTime dispatch_timeout = seconds(120);
+  /// O(n)-per-failure ground-truth scan (slower; off for benches).
+  bool diagnose_failures = false;
+
+  index::InscanConfig inscan;
+  query::QueryConfig query;
+  gossip::NewscastConfig newscast;           ///< view_size auto if 0
+  khdn::KhdnConfig khdn;
+  net::TopologyConfig topology;
+  workload::NodeGenConfig nodegen;
+  workload::TaskGenConfig taskgen;           ///< demand_ratio is overwritten
+  psm::VmOverhead overhead;
+};
+
+struct ExperimentResults {
+  std::string protocol;
+  std::vector<metrics::SeriesSample> series;
+  std::uint64_t generated = 0;
+  std::uint64_t finished = 0;
+  std::uint64_t failed = 0;
+  double t_ratio = 0.0;
+  double f_ratio = 0.0;
+  double fairness = 1.0;
+  /// Paper's "message delivery cost": messages sent/forwarded per node.
+  double msg_cost_per_node = 0.0;
+  std::uint64_t total_messages = 0;
+  double avg_query_delay_s = 0.0;
+  double avg_dispatch_attempts = 0.0;
+  std::uint64_t events_executed = 0;
+
+  /// Diagnostics (only meaningful when config.diagnose_failures is set):
+  /// failures split by ground truth at failure time.
+  std::uint64_t fail_infeasible = 0;  ///< no alive host could admit the task
+  std::uint64_t fail_feasible = 0;    ///< a host existed but was not found
+  std::uint64_t fail_undiscoverable = 0;  ///< feasible, but no cached record
+  std::uint64_t empty_query_results = 0;
+  std::uint64_t dispatch_rejects = 0;
+
+  /// Churn fault-tolerance accounting.
+  std::uint64_t tasks_killed_by_churn = 0;   ///< aborted with their host
+  std::uint64_t checkpoint_restarts = 0;     ///< restart attempts issued
+  std::uint64_t checkpoint_snapshots = 0;    ///< snapshots shipped
+  double wasted_work_rate_seconds = 0.0;     ///< progress lost to churn
+};
+
+/// Run one full simulation; deterministic in config.seed.
+[[nodiscard]] ExperimentResults run_experiment(const ExperimentConfig& config);
+
+/// The full simulated system, exposed so examples and tests can drive it
+/// step by step instead of only end-to-end.
+class Experiment {
+ public:
+  explicit Experiment(ExperimentConfig config);
+  ~Experiment();
+
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
+
+  /// Build hosts, join them to the protocol, start arrivals and churn.
+  void setup();
+  /// Run the simulation clock to the configured duration.
+  void run();
+  /// Collect results (valid after run(), or mid-flight for a snapshot).
+  [[nodiscard]] ExperimentResults results() const;
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] net::MessageBus& bus() { return *bus_; }
+  [[nodiscard]] DiscoveryProtocol& protocol() { return *protocol_; }
+  [[nodiscard]] const metrics::TaskMetrics& task_metrics() const {
+    return metrics_;
+  }
+  [[nodiscard]] std::size_t alive_nodes() const;
+
+  /// Submit one task immediately from `origin` (examples/tests).
+  void submit_task(NodeId origin);
+
+ private:
+  struct Host {
+    ResourceVector capacity;
+    std::unique_ptr<psm::PsmScheduler> scheduler;
+    bool alive = true;
+    std::uint32_t next_seq = 0;
+  };
+
+  struct TaskRun;  // lifecycle context
+
+  NodeId spawn_host();
+  void start_arrivals(NodeId id);
+  void start_churn();
+  void start_checkpointing();
+  void on_host_departed(NodeId victim);
+  void restart_from_checkpoint(const psm::PsmScheduler::Progress& progress);
+  void begin_query(const std::shared_ptr<TaskRun>& run);
+  void on_candidates(const std::shared_ptr<TaskRun>& run,
+                     std::vector<Discovered> candidates);
+  void dispatch(const std::shared_ptr<TaskRun>& run, NodeId provider);
+  void retry_or_fail(const std::shared_ptr<TaskRun>& run);
+  void on_host_finished_task(NodeId host, const psm::CompletionInfo& info);
+  [[nodiscard]] double efficiency_of(const psm::TaskSpec& spec,
+                                     SimTime finished_at) const;
+
+  ExperimentConfig config_;
+  sim::Simulator sim_;
+  Rng rng_;
+  std::unique_ptr<net::Topology> topology_;
+  std::unique_ptr<net::MessageBus> bus_;
+  std::unique_ptr<DiscoveryProtocol> protocol_;
+  workload::NodeGenerator node_gen_;
+  workload::TaskGenerator task_gen_;
+  std::unordered_map<NodeId, Host> hosts_;
+  struct Placement {
+    psm::TaskSpec spec;
+    NodeId provider;
+  };
+  std::unordered_map<TaskId, Placement> in_flight_;
+  psm::CheckpointStore checkpoints_;
+  metrics::TaskMetrics metrics_;
+  RunningStats query_delay_s_;
+  RunningStats dispatch_attempts_;
+  ResourceVector avg_capacity_;
+  double avg_wan_mbps_ = 1.0;
+  std::size_t alive_count_ = 0;
+  bool setup_done_ = false;
+  std::uint64_t fail_infeasible_ = 0;
+  std::uint64_t fail_feasible_ = 0;
+  std::uint64_t fail_undiscoverable_ = 0;
+  std::uint64_t empty_query_results_ = 0;
+  std::uint64_t dispatch_rejects_ = 0;
+  std::uint64_t tasks_killed_by_churn_ = 0;
+  std::uint64_t checkpoint_restarts_ = 0;
+  std::uint64_t checkpoint_snapshots_ = 0;
+  double wasted_work_ = 0.0;
+};
+
+}  // namespace soc::core

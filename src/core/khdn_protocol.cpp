@@ -1,0 +1,71 @@
+#include "src/core/khdn_protocol.hpp"
+
+#include <utility>
+
+#include "src/psm/task.hpp"
+
+namespace soc::core {
+
+KhdnProtocol::KhdnProtocol(sim::Simulator& sim, net::MessageBus& bus,
+                           ResourceVector cmax, khdn::KhdnConfig config,
+                           Rng rng)
+    : cmax_(std::move(cmax)), rng_(rng.fork("khdn-protocol")),
+      space_(cmax_.size(), rng.fork("khdn-space")),
+      system_(sim, bus, space_, config, rng.fork("khdn-system")), bus_(bus) {
+  system_.attach_to_space();
+}
+
+void KhdnProtocol::set_availability_source(AvailabilityFn fn) {
+  system_.set_availability_provider(
+      [this, fn = std::move(fn)](NodeId id) -> std::optional<index::Record> {
+        const auto avail = fn(id);
+        if (!avail.has_value()) return std::nullopt;
+        index::Record r;
+        r.provider = id;
+        r.availability = *avail;
+        r.location = can::Point::normalized(*avail, cmax_);
+        // Reuse the KHDN record TTL for expiry.
+        r.published_at = 0;
+        r.expires_at = 0;
+        return r;
+      });
+}
+
+void KhdnProtocol::on_join(NodeId id) {
+  space_.join(id);
+  system_.add_node(id);
+  for (std::size_t i = 0; i < space_.neighbors_of(id).size(); ++i) {
+    bus_.stats().on_send(id, net::MsgType::kMaintenance, 64);
+  }
+  system_.publish_now(id);
+}
+
+void KhdnProtocol::on_leave(NodeId id) {
+  if (!space_.contains(id)) return;
+  const std::size_t msgs = space_.neighbors_of(id).size();
+  system_.remove_node(id);
+  space_.leave(id);
+  for (std::size_t i = 0; i < msgs; ++i) {
+    bus_.stats().on_send(id, net::MsgType::kMaintenance, 64);
+  }
+}
+
+void KhdnProtocol::republish(NodeId id) {
+  if (space_.contains(id)) system_.publish_now(id);
+}
+
+void KhdnProtocol::query(NodeId requester, const ResourceVector& demand,
+                         std::size_t want, QueryCallback cb) {
+  system_.query(requester, demand, can::Point::normalized(demand, cmax_),
+                want,
+                [cb = std::move(cb)](std::vector<khdn::KhdnCandidate> f) {
+                  std::vector<Discovered> out;
+                  out.reserve(f.size());
+                  for (auto& c : f) {
+                    out.push_back(Discovered{c.provider, c.availability});
+                  }
+                  cb(std::move(out));
+                });
+}
+
+}  // namespace soc::core

@@ -1,0 +1,33 @@
+// KHDN-CAN baseline as a DiscoveryProtocol.
+#pragma once
+
+#include "src/core/protocol.hpp"
+#include "src/khdn/khdn.hpp"
+
+namespace soc::core {
+
+class KhdnProtocol final : public DiscoveryProtocol {
+ public:
+  KhdnProtocol(sim::Simulator& sim, net::MessageBus& bus, ResourceVector cmax,
+               khdn::KhdnConfig config, Rng rng);
+
+  void set_availability_source(AvailabilityFn fn) override;
+  void on_join(NodeId id) override;
+  void on_leave(NodeId id) override;
+  void query(NodeId requester, const ResourceVector& demand,
+             std::size_t want, QueryCallback cb) override;
+  void republish(NodeId id) override;
+  [[nodiscard]] std::string name() const override { return "KHDN-CAN"; }
+
+  [[nodiscard]] can::CanSpace& space() { return space_; }
+  [[nodiscard]] khdn::KhdnSystem& system() { return system_; }
+
+ private:
+  ResourceVector cmax_;
+  Rng rng_;
+  can::CanSpace space_;
+  khdn::KhdnSystem system_;
+  net::MessageBus& bus_;
+};
+
+}  // namespace soc::core

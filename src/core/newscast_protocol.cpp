@@ -1,0 +1,49 @@
+#include "src/core/newscast_protocol.hpp"
+
+#include <algorithm>
+
+namespace soc::core {
+
+NewscastProtocol::NewscastProtocol(sim::Simulator& sim, net::MessageBus& bus,
+                                   gossip::NewscastConfig config, Rng rng)
+    : system_(sim, bus, config, rng.fork("newscast")),
+      rng_(rng.fork("newscast-protocol")) {}
+
+void NewscastProtocol::set_availability_source(AvailabilityFn fn) {
+  system_.set_availability_provider(std::move(fn));
+}
+
+void NewscastProtocol::on_join(NodeId id) {
+  // Bootstrap contacts: a random sample of current members (a tracker or
+  // any out-of-band introduction service would provide these).
+  std::vector<NodeId> bootstrap;
+  if (!members_.empty()) {
+    for (const std::size_t i :
+         rng_.sample_indices(members_.size(), std::size_t{8})) {
+      bootstrap.push_back(members_[i]);
+    }
+  }
+  system_.add_node(id, bootstrap);
+  members_.push_back(id);
+}
+
+void NewscastProtocol::on_leave(NodeId id) {
+  system_.remove_node(id);
+  members_.erase(std::remove(members_.begin(), members_.end(), id),
+                 members_.end());
+}
+
+void NewscastProtocol::query(NodeId requester, const ResourceVector& demand,
+                             std::size_t want, QueryCallback cb) {
+  system_.query(requester, demand, want,
+                [cb = std::move(cb)](std::vector<gossip::GossipCandidate> f) {
+                  std::vector<Discovered> out;
+                  out.reserve(f.size());
+                  for (auto& c : f) {
+                    out.push_back(Discovered{c.provider, c.availability});
+                  }
+                  cb(std::move(out));
+                });
+}
+
+}  // namespace soc::core

@@ -1,0 +1,31 @@
+// Newscast gossip baseline as a DiscoveryProtocol.
+#pragma once
+
+#include <vector>
+
+#include "src/core/protocol.hpp"
+#include "src/gossip/newscast.hpp"
+
+namespace soc::core {
+
+class NewscastProtocol final : public DiscoveryProtocol {
+ public:
+  NewscastProtocol(sim::Simulator& sim, net::MessageBus& bus,
+                   gossip::NewscastConfig config, Rng rng);
+
+  void set_availability_source(AvailabilityFn fn) override;
+  void on_join(NodeId id) override;
+  void on_leave(NodeId id) override;
+  void query(NodeId requester, const ResourceVector& demand,
+             std::size_t want, QueryCallback cb) override;
+  [[nodiscard]] std::string name() const override { return "Newscast"; }
+
+  [[nodiscard]] gossip::NewscastSystem& system() { return system_; }
+
+ private:
+  gossip::NewscastSystem system_;
+  Rng rng_;
+  std::vector<NodeId> members_;  // for bootstrap sampling
+};
+
+}  // namespace soc::core

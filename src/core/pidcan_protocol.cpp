@@ -1,0 +1,169 @@
+#include "src/core/pidcan_protocol.hpp"
+
+#include <utility>
+
+#include "src/psm/task.hpp"
+
+namespace soc::core {
+
+PidCanProtocol::PidCanProtocol(sim::Simulator& sim, net::MessageBus& bus,
+                               ResourceVector cmax, PidCanOptions options,
+                               Rng rng)
+    : cmax_(std::move(cmax)), options_(options), rng_(rng),
+      dims_(cmax_.size() + (options.virtual_dimension ? 1 : 0)),
+      space_(dims_, rng_.fork("can-space")),
+      index_(sim, bus, space_, options.inscan, rng_.fork("index-system")),
+      engine_(index_, options.query), bus_(bus) {
+  index_.attach_to_space();
+  if (options_.aggregate_cmax) {
+    aggregator_ = std::make_unique<gossip::MaxAggregator>(
+        sim, bus, options_.aggregation, rng_.fork("cmax-aggregation"));
+    // Gossip partners: a uniformly random adjacent CAN neighbor.
+    aggregator_->set_peer_sampler(
+        [this](NodeId id) -> std::optional<NodeId> {
+          if (!space_.contains(id)) return std::nullopt;
+          const auto& ns = space_.neighbors_of(id);
+          if (ns.empty()) return std::nullopt;
+          return ns[rng_.pick_index(ns.size())];
+        });
+  }
+}
+
+std::string PidCanProtocol::name() const {
+  std::string n = options_.inscan.diffusion == index::DiffusionMethod::kHopping
+                      ? "HID-CAN"
+                      : "SID-CAN";
+  if (options_.slack_on_submission) n += "+SoS";
+  if (options_.virtual_dimension) n += "+VD";
+  return n;
+}
+
+can::Point PidCanProtocol::locate(const ResourceVector& v, Rng& rng) const {
+  const can::Point base = can::Point::normalized(v, cmax_);
+  if (!options_.virtual_dimension) return base;
+  can::Point p(dims_);
+  for (std::size_t i = 0; i < base.dims(); ++i) p[i] = base[i];
+  p[dims_ - 1] = rng.uniform();
+  return p;
+}
+
+void PidCanProtocol::set_availability_source(AvailabilityFn fn) {
+  raw_availability_ = fn;
+  index_.set_availability_provider(
+      [this, fn = std::move(fn)](NodeId id) -> std::optional<index::Record> {
+        const auto avail = fn(id);
+        if (!avail.has_value()) return std::nullopt;
+        index::Record r;
+        r.provider = id;
+        r.availability = *avail;
+        r.location = locate(*avail, rng_);
+        r.published_at = index_.simulator().now();
+        r.expires_at = r.published_at + options_.inscan.record_ttl;
+        return r;
+      });
+}
+
+void PidCanProtocol::on_join(NodeId id) {
+  space_.join(id);
+  index_.add_node(id);
+  if (aggregator_) {
+    // The node's contribution to c_max is its capacity; at join time its
+    // availability equals it (no tasks admitted yet).
+    ResourceVector local = cmax_;
+    if (raw_availability_) {
+      if (const auto a = raw_availability_(id); a.has_value()) local = *a;
+    }
+    aggregator_->add_node(id, local);
+  }
+  // Account the join's overlay maintenance traffic: the join request routes
+  // to the split node and the new neighbor set is notified.
+  const std::size_t msgs =
+      options_.maintenance_msgs_per_join + space_.neighbors_of(id).size();
+  for (std::size_t i = 0; i < msgs; ++i) {
+    bus_.stats().on_send(id, net::MsgType::kMaintenance, 64);
+  }
+  // Fresh members publish immediately so they become discoverable before
+  // the first periodic update.
+  index_.publish_now(id);
+}
+
+void PidCanProtocol::on_leave(NodeId id) {
+  if (!space_.contains(id)) return;
+  const std::size_t msgs = space_.neighbors_of(id).size();
+  if (aggregator_) aggregator_->remove_node(id);
+  index_.remove_node(id);
+  space_.leave(id);
+  for (std::size_t i = 0; i < msgs; ++i) {
+    bus_.stats().on_send(id, net::MsgType::kMaintenance, 64);
+  }
+}
+
+void PidCanProtocol::republish(NodeId id) {
+  if (space_.contains(id)) index_.publish_now(id);
+}
+
+std::size_t PidCanProtocol::discoverable(const ResourceVector& demand,
+                                         SimTime now) const {
+  std::size_t n = 0;
+  auto& self = const_cast<PidCanProtocol&>(*this);
+  for (const NodeId id : space_.member_ids()) {
+    n += self.index_.cache(id).qualified(demand, now).size();
+  }
+  return n;
+}
+
+ResourceVector PidCanProtocol::cmax_bound_for(NodeId requester) const {
+  if (aggregator_ && aggregator_->tracks(requester)) {
+    return aggregator_->estimate(requester);
+  }
+  return cmax_;
+}
+
+ResourceVector PidCanProtocol::skew_demand(const ResourceVector& e,
+                                           NodeId requester) {
+  const ResourceVector bound = cmax_bound_for(requester);
+  ResourceVector out(e.size());
+  for (std::size_t i = 0; i < e.size(); ++i) {
+    const double hi = std::max(e[i], bound[i]);
+    out[i] = e[i] + rng_.uniform() * (hi - e[i]);
+  }
+  return out;
+}
+
+void PidCanProtocol::query(NodeId requester, const ResourceVector& demand,
+                           std::size_t want, QueryCallback cb) {
+  auto to_discovered = [](std::vector<query::Candidate> found) {
+    std::vector<Discovered> out;
+    out.reserve(found.size());
+    for (auto& c : found) out.push_back(Discovered{c.provider, c.availability});
+    return out;
+  };
+
+  if (!options_.slack_on_submission) {
+    engine_.submit_k(requester, demand, locate(demand, rng_), want,
+                     [cb = std::move(cb), to_discovered](auto found) {
+                       cb(to_discovered(std::move(found)));
+                     });
+    return;
+  }
+
+  // SoS: first query with the skewed vector e' (Eq. 3); if that cannot
+  // fulfil the expectation, restore the original e and search again —
+  // "twice resource query overhead" as the paper notes.
+  const ResourceVector skewed = skew_demand(demand, requester);
+  engine_.submit_k(
+      requester, skewed, locate(skewed, rng_), want,
+      [this, requester, demand, want, cb = std::move(cb),
+       to_discovered](auto found) {
+        if (found.size() >= want) {
+          cb(to_discovered(std::move(found)));
+          return;
+        }
+        engine_.submit_k(requester, demand, locate(demand, rng_), want,
+                         [cb, to_discovered](auto retry_found) {
+                           cb(to_discovered(std::move(retry_found)));
+                         });
+      });
+}
+
+}  // namespace soc::core

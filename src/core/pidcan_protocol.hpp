@@ -1,0 +1,80 @@
+// PID-CAN — the paper's contribution — as a DiscoveryProtocol.
+//
+// Composes the INSCAN overlay (CanSpace + IndexSystem) with the Alg. 3–5
+// query engine.  The diffusion method (spreading = SID-CAN, hopping =
+// HID-CAN), Slack-on-Submission (Eq. 3) and the virtual-dimension variant
+// ([27]) are all options of this one class; the experiment factory maps the
+// six protocol names of §IV.A onto option combinations.
+#pragma once
+
+#include <memory>
+
+#include "src/core/protocol.hpp"
+#include "src/gossip/aggregation.hpp"
+#include "src/index/inscan.hpp"
+#include "src/query/query_engine.hpp"
+
+namespace soc::core {
+
+struct PidCanOptions {
+  index::InscanConfig inscan;
+  query::QueryConfig query;
+  bool slack_on_submission = false;  ///< SoS: skew e → e' per Eq. (3)
+  bool virtual_dimension = false;    ///< +1 CAN dimension to spread load
+  /// Estimate c_max by gossip aggregation over CAN neighbors ([23]) instead
+  /// of assuming it known — the exact mechanism the paper points at for
+  /// obtaining the SoS upper bound.
+  bool aggregate_cmax = false;
+  gossip::AggregationConfig aggregation;
+  std::size_t maintenance_msgs_per_join = 0;  ///< set from topology scale
+};
+
+class PidCanProtocol final : public DiscoveryProtocol {
+ public:
+  PidCanProtocol(sim::Simulator& sim, net::MessageBus& bus,
+                 ResourceVector cmax, PidCanOptions options, Rng rng);
+
+  void set_availability_source(AvailabilityFn fn) override;
+  void on_join(NodeId id) override;
+  void on_leave(NodeId id) override;
+  void query(NodeId requester, const ResourceVector& demand,
+             std::size_t want, QueryCallback cb) override;
+  void republish(NodeId id) override;
+  [[nodiscard]] std::size_t discoverable(const ResourceVector& demand,
+                                         SimTime now) const override;
+  [[nodiscard]] std::string name() const override;
+
+  /// The CAN point a demand/availability vector files under (appends the
+  /// virtual coordinate in the VD variant).
+  [[nodiscard]] can::Point locate(const ResourceVector& v, Rng& rng) const;
+
+  [[nodiscard]] can::CanSpace& space() { return space_; }
+  [[nodiscard]] index::IndexSystem& index() { return index_; }
+  [[nodiscard]] query::QueryEngine& engine() { return engine_; }
+  [[nodiscard]] const ResourceVector& cmax() const { return cmax_; }
+  /// The gossip aggregator when options.aggregate_cmax is on, else null.
+  [[nodiscard]] gossip::MaxAggregator* aggregator() {
+    return aggregator_.get();
+  }
+  /// The c_max bound a requester would use for SoS: the aggregated
+  /// estimate when enabled, else the configured global constant.
+  [[nodiscard]] ResourceVector cmax_bound_for(NodeId requester) const;
+
+ private:
+  /// Eq. (3): a componentwise-random vector with e ≼ e' ≼ c_max.
+  [[nodiscard]] ResourceVector skew_demand(const ResourceVector& e,
+                                           NodeId requester);
+
+  ResourceVector cmax_;
+  PidCanOptions options_;
+  Rng rng_;
+  std::size_t dims_;
+  can::CanSpace space_;
+  index::IndexSystem index_;
+  query::QueryEngine engine_;
+  net::MessageBus& bus_;
+  AvailabilityFn raw_availability_;
+  std::unique_ptr<gossip::MaxAggregator> aggregator_;
+};
+
+}  // namespace soc::core

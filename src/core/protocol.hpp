@@ -1,0 +1,61 @@
+// The resource-discovery protocol interface the Self-Organizing Cloud node
+// layer programs against.  Implementations: PID-CAN (SID/HID × SoS × VD),
+// Newscast gossip, and KHDN-CAN.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/resource_vector.hpp"
+#include "src/common/types.hpp"
+
+namespace soc::core {
+
+/// A discovered execution candidate: the advertised (possibly stale)
+/// availability of a provider node.
+struct Discovered {
+  NodeId provider;
+  ResourceVector availability;
+};
+
+class DiscoveryProtocol {
+ public:
+  using AvailabilityFn =
+      std::function<std::optional<ResourceVector>(NodeId)>;
+  using QueryCallback = std::function<void(std::vector<Discovered>)>;
+
+  virtual ~DiscoveryProtocol() = default;
+
+  /// Wire the live-availability source (the node layer's PSM schedulers).
+  virtual void set_availability_source(AvailabilityFn fn) = 0;
+
+  /// A host joined the system (already present in the network topology).
+  virtual void on_join(NodeId id) = 0;
+  /// A host departed; its protocol state must be torn down.
+  virtual void on_leave(NodeId id) = 0;
+
+  /// Multi-dimensional range query: find up to `want` candidates whose
+  /// advertised availability dominates `demand`.  The callback fires
+  /// exactly once (possibly empty).
+  virtual void query(NodeId requester, const ResourceVector& demand,
+                     std::size_t want, QueryCallback cb) = 0;
+
+  /// The host's availability just changed materially (a task was admitted
+  /// or a dispatch was rejected): push a fresh state update immediately
+  /// instead of waiting for the periodic cycle.  Default: no-op.
+  virtual void republish(NodeId /*id*/) {}
+
+  /// Diagnostics oracle: how many *currently cached* records anywhere in
+  /// the system qualify for `demand` (i.e. what a perfect search could
+  /// find).  Default: unknown (0).
+  [[nodiscard]] virtual std::size_t discoverable(
+      const ResourceVector& /*demand*/, SimTime /*now*/) const {
+    return 0;
+  }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace soc::core

@@ -1,0 +1,94 @@
+#include "src/gossip/aggregation.hpp"
+
+namespace soc::gossip {
+
+MaxAggregator::MaxAggregator(sim::Simulator& sim, net::MessageBus& bus,
+                             AggregationConfig config, Rng rng)
+    : sim_(sim), bus_(bus), config_(config), rng_(rng) {
+  SOC_CHECK(config_.exchange_period > 0);
+  SOC_CHECK(config_.epoch_length >= config_.exchange_period);
+}
+
+std::uint64_t MaxAggregator::current_epoch() const {
+  return static_cast<std::uint64_t>(sim_.now() / config_.epoch_length);
+}
+
+void MaxAggregator::refresh_epoch(NodeState& st) {
+  const std::uint64_t epoch = current_epoch();
+  if (st.epoch != epoch) {
+    st.epoch = epoch;
+    st.estimate = st.local;
+  }
+}
+
+void MaxAggregator::add_node(NodeId id, const ResourceVector& local_value) {
+  SOC_CHECK(!state_.contains(id));
+  state_.emplace(id, NodeState{local_value, local_value, current_epoch()});
+  sim_.schedule_periodic(
+      config_.exchange_period,
+      [this, id] {
+        if (!state_.contains(id)) return false;
+        exchange_now(id);
+        return true;
+      },
+      static_cast<SimTime>(
+          rng_.fork(id.value).uniform_int(1, config_.exchange_period)),
+      config_.periodic_jitter);
+}
+
+void MaxAggregator::remove_node(NodeId id) { state_.erase(id); }
+
+void MaxAggregator::update_local(NodeId id, const ResourceVector& value) {
+  auto& st = state_.at(id);
+  refresh_epoch(st);
+  st.local = value;
+  st.estimate = st.estimate.cw_max(value);
+}
+
+const ResourceVector& MaxAggregator::estimate(NodeId id) const {
+  const auto it = state_.find(id);
+  SOC_CHECK_MSG(it != state_.end(), "unknown aggregator node");
+  // Stale-epoch reads still return the previous epoch's converged value —
+  // preferable to resetting on a const read path.
+  return it->second.estimate;
+}
+
+void MaxAggregator::merge(NodeId at, const ResourceVector& incoming,
+                          std::uint64_t epoch) {
+  const auto it = state_.find(at);
+  if (it == state_.end()) return;
+  NodeState& st = it->second;
+  refresh_epoch(st);
+  if (epoch != st.epoch) return;  // cross-epoch messages are dropped
+  st.estimate = st.estimate.cw_max(incoming);
+}
+
+void MaxAggregator::exchange_now(NodeId id) {
+  const auto it = state_.find(id);
+  if (it == state_.end() || !sampler_) return;
+  const auto peer = sampler_(id);
+  if (!peer.has_value() || *peer == id) return;
+
+  NodeState& st = it->second;
+  refresh_epoch(st);
+  ++exchanges_;
+
+  // Push-pull: send my estimate; the peer merges and answers with its own.
+  const ResourceVector mine = st.estimate;
+  const std::uint64_t epoch = st.epoch;
+  bus_.send(id, *peer, net::MsgType::kGossip, config_.msg_bytes,
+            [this, id, peer = *peer, mine, epoch] {
+              const auto pit = state_.find(peer);
+              if (pit == state_.end()) return;
+              refresh_epoch(pit->second);
+              const ResourceVector theirs = pit->second.estimate;
+              const std::uint64_t peer_epoch = pit->second.epoch;
+              merge(peer, mine, epoch);
+              bus_.send(peer, id, net::MsgType::kGossip, config_.msg_bytes,
+                        [this, id, theirs, peer_epoch] {
+                          merge(id, theirs, peer_epoch);
+                        });
+            });
+}
+
+}  // namespace soc::gossip

@@ -1,0 +1,83 @@
+// Gossip-based aggregation (Jelasity, Montresor & Babaoglu, TOCS'05 — the
+// paper's reference [23]): the SoS variant needs the global capacity
+// ceiling c_max, "which can be statistically aggregated using cached
+// information".  This implements epidemic max-aggregation with periodic
+// epochs so the estimate also *forgets* departed maxima under churn.
+//
+// Each node keeps a componentwise-max estimate seeded from its local
+// value; periodic push-pull exchanges with random peers spread the max in
+// O(log n) rounds.  Epochs restart the computation on a fixed wall-clock
+// grid: within a fresh epoch a node falls back to its local value, so a
+// departed record-holder's contribution ages out after one epoch.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "src/common/resource_vector.hpp"
+#include "src/common/rng.hpp"
+#include "src/net/message_bus.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace soc::gossip {
+
+struct AggregationConfig {
+  SimTime exchange_period = seconds(60);
+  SimTime epoch_length = seconds(1800);  ///< forget horizon under churn
+  std::size_t msg_bytes = 96;
+  double periodic_jitter = 0.1;
+};
+
+class MaxAggregator {
+ public:
+  /// Supplies a random gossip partner for a node (e.g. a random CAN
+  /// neighbor, or a Newscast view member); nullopt when isolated.
+  using PeerSampler = std::function<std::optional<NodeId>(NodeId)>;
+
+  MaxAggregator(sim::Simulator& sim, net::MessageBus& bus,
+                AggregationConfig config, Rng rng);
+
+  void set_peer_sampler(PeerSampler sampler) {
+    sampler_ = std::move(sampler);
+  }
+
+  /// Register a node with its local contribution (e.g. its capacity).
+  void add_node(NodeId id, const ResourceVector& local_value);
+  void remove_node(NodeId id);
+  [[nodiscard]] bool tracks(NodeId id) const { return state_.contains(id); }
+
+  /// Update the node's own contribution (capacities are static in the
+  /// paper's setting, but the API supports dynamic values).
+  void update_local(NodeId id, const ResourceVector& value);
+
+  /// Current componentwise-max estimate at this node.
+  [[nodiscard]] const ResourceVector& estimate(NodeId id) const;
+
+  /// One push-pull exchange with a random peer (also runs periodically).
+  void exchange_now(NodeId id);
+
+  [[nodiscard]] std::uint64_t exchanges() const { return exchanges_; }
+
+ private:
+  struct NodeState {
+    ResourceVector local;
+    ResourceVector estimate;
+    std::uint64_t epoch = 0;
+  };
+
+  [[nodiscard]] std::uint64_t current_epoch() const;
+  /// Roll a node into the current epoch (resetting its estimate) if stale.
+  void refresh_epoch(NodeState& st);
+  void merge(NodeId at, const ResourceVector& incoming, std::uint64_t epoch);
+
+  sim::Simulator& sim_;
+  net::MessageBus& bus_;
+  AggregationConfig config_;
+  Rng rng_;
+  PeerSampler sampler_;
+  std::unordered_map<NodeId, NodeState> state_;
+  std::uint64_t exchanges_ = 0;
+};
+
+}  // namespace soc::gossip

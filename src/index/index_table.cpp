@@ -1,0 +1,104 @@
+#include "src/index/index_table.hpp"
+
+#include <algorithm>
+
+namespace soc::index {
+
+IndexTable::IndexTable(std::size_t dims, std::size_t samples_per_level,
+                       SimTime entry_ttl)
+    : dims_(dims), samples_per_level_(samples_per_level), ttl_(entry_ttl),
+      tracks_(dims * 2) {
+  SOC_CHECK(dims > 0);
+  SOC_CHECK(samples_per_level > 0);
+}
+
+std::size_t IndexTable::track_index(std::size_t dim,
+                                    can::Direction dir) const {
+  SOC_CHECK(dim < dims_);
+  return dim * 2 + (dir == can::Direction::kPositive ? 1 : 0);
+}
+
+void IndexTable::store(std::size_t dim, can::Direction dir, std::size_t level,
+                       NodeId id, SimTime now) {
+  auto& track = tracks_[track_index(dim, dir)];
+  // Refresh an existing identical entry in place.
+  for (auto& e : track) {
+    if (e.id == id && e.level == level) {
+      e.refreshed_at = now;
+      return;
+    }
+  }
+  // Enforce the per-level sample cap by evicting the stalest same-level
+  // entry when full.
+  std::size_t level_count = 0;
+  auto stalest = track.end();
+  for (auto it = track.begin(); it != track.end(); ++it) {
+    if (it->level != level) continue;
+    ++level_count;
+    if (stalest == track.end() || it->refreshed_at < stalest->refreshed_at) {
+      stalest = it;
+    }
+  }
+  if (level_count >= samples_per_level_ && stalest != track.end()) {
+    track.erase(stalest);
+  }
+  track.push_back(Entry{id, level, now});
+}
+
+void IndexTable::clear_track(std::size_t dim, can::Direction dir) {
+  tracks_[track_index(dim, dir)].clear();
+}
+
+void IndexTable::clear_all() {
+  for (auto& t : tracks_) t.clear();
+}
+
+std::vector<IndexTable::Entry> IndexTable::live_entries(
+    std::size_t dim, can::Direction dir, SimTime now) const {
+  std::vector<Entry> out;
+  for (const auto& e : tracks_[track_index(dim, dir)]) {
+    if ((now - e.refreshed_at) < ttl_) out.push_back(e);
+  }
+  return out;
+}
+
+std::optional<NodeId> IndexTable::pick(std::size_t dim, can::Direction dir,
+                                       IndexSelectPolicy policy, SimTime now,
+                                       Rng& rng) const {
+  const auto live = live_entries(dim, dir, now);
+  if (live.empty()) return std::nullopt;
+
+  switch (policy) {
+    case IndexSelectPolicy::kRandomPowerLevel: {
+      // Random level among those present, then a random sample within it —
+      // this is the 2^k randomized selection of the paper.
+      std::vector<std::size_t> levels;
+      for (const auto& e : live) levels.push_back(e.level);
+      std::sort(levels.begin(), levels.end());
+      levels.erase(std::unique(levels.begin(), levels.end()), levels.end());
+      const std::size_t lvl = levels[rng.pick_index(levels.size())];
+      std::vector<NodeId> at_level;
+      for (const auto& e : live) {
+        if (e.level == lvl) at_level.push_back(e.id);
+      }
+      return at_level[rng.pick_index(at_level.size())];
+    }
+    case IndexSelectPolicy::kNearestOnly: {
+      const auto it = std::min_element(
+          live.begin(), live.end(),
+          [](const Entry& a, const Entry& b) { return a.level < b.level; });
+      return it->id;
+    }
+    case IndexSelectPolicy::kUniformEntry:
+      return live[rng.pick_index(live.size())].id;
+  }
+  return std::nullopt;
+}
+
+std::size_t IndexTable::total_entries() const {
+  std::size_t n = 0;
+  for (const auto& t : tracks_) n += t.size();
+  return n;
+}
+
+}  // namespace soc::index

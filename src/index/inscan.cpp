@@ -1,0 +1,383 @@
+#include "src/index/inscan.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "src/common/logging.hpp"
+
+namespace soc::index {
+
+IndexSystem::IndexSystem(sim::Simulator& sim, net::MessageBus& bus,
+                         can::CanSpace& space, InscanConfig config, Rng rng)
+    : sim_(sim), bus_(bus), space_(space), config_(config), rng_(rng) {
+  SOC_CHECK(config_.index_fanout_L >= 1);
+}
+
+void IndexSystem::attach_to_space() {
+  can::CanSpace::Listener listener;
+  listener.on_rehome = [this](NodeId from, NodeId to) {
+    if (!state_.contains(from)) return;
+    // Move the records that now belong to `to`'s zone.  When `from` is no
+    // longer a member (departure) everything moves.
+    std::vector<Record> moved;
+    if (space_.contains(from) && space_.contains(to)) {
+      moved = cache(from).extract_in_zone(space_.zone_of(to), sim_.now());
+    } else {
+      moved = cache(from).extract_all();
+    }
+    RecordStore& dst = cache(to);
+    for (const Record& r : moved) dst.put(r);
+  };
+  space_.set_listener(std::move(listener));
+}
+
+IndexSystem::NodeState& IndexSystem::state(NodeId id) {
+  auto it = state_.find(id);
+  if (it == state_.end()) {
+    it = state_
+             .emplace(id, NodeState{RecordStore{},
+                                    PiList(config_.pi_capacity, config_.pi_ttl),
+                                    IndexTable(space_.dims(),
+                                               config_.index_samples_per_level,
+                                               config_.index_entry_ttl),
+                                    rng_.fork(id.value)})
+             .first;
+  }
+  return it->second;
+}
+
+RecordStore& IndexSystem::cache(NodeId id) { return state(id).cache; }
+PiList& IndexSystem::pi_list(NodeId id) { return state(id).pi; }
+IndexTable& IndexSystem::table(NodeId id) { return state(id).table; }
+
+void IndexSystem::add_node(NodeId id) {
+  SOC_CHECK(space_.contains(id));
+  state(id);  // materialize
+  // Bootstrap the index tables right away, then keep them fresh.
+  for (std::size_t d = 0; d < space_.dims(); ++d) {
+    probe_now(id, d, can::Direction::kNegative);
+    probe_now(id, d, can::Direction::kPositive);
+  }
+  start_periodics(id);
+}
+
+void IndexSystem::remove_node(NodeId id) {
+  state_.erase(id);
+  last_location_.erase(id);
+}
+
+void IndexSystem::start_periodics(NodeId id) {
+  // Every periodic body first checks the node is still a tracked member,
+  // returning false to retire the process after departure.
+  sim_.schedule_periodic(
+      config_.state_update_period,
+      [this, id] {
+        if (!state_.contains(id) || !space_.contains(id)) return false;
+        publish_now(id);
+        return true;
+      },
+      /*phase=*/static_cast<SimTime>(
+          state(id).rng.uniform_int(1, config_.state_update_period)),
+      config_.periodic_jitter);
+
+  sim_.schedule_periodic(
+      config_.diffusion_period,
+      [this, id] {
+        if (!state_.contains(id) || !space_.contains(id)) return false;
+        diffuse_now(id);
+        return true;
+      },
+      static_cast<SimTime>(
+          state(id).rng.uniform_int(1, config_.diffusion_period)),
+      config_.periodic_jitter);
+
+  sim_.schedule_periodic(
+      config_.index_refresh_period,
+      [this, id] {
+        if (!state_.contains(id) || !space_.contains(id)) return false;
+        for (std::size_t d = 0; d < space_.dims(); ++d) {
+          probe_now(id, d, can::Direction::kNegative);
+          probe_now(id, d, can::Direction::kPositive);
+        }
+        return true;
+      },
+      static_cast<SimTime>(
+          state(id).rng.uniform_int(1, config_.index_refresh_period)),
+      config_.periodic_jitter);
+}
+
+// ---------------------------------------------------------------------------
+// Greedy routing (plain CAN neighbors, optionally + index-table fingers)
+
+void IndexSystem::route(NodeId from, const can::Point& target,
+                        net::MsgType type, std::size_t bytes,
+                        std::function<void(NodeId)> on_arrive) {
+  auto done = std::make_shared<std::function<void(NodeId)>>(
+      std::move(on_arrive));
+  route_step(from, target, type, bytes, config_.route_ttl, done);
+}
+
+void IndexSystem::route_step(
+    NodeId at, const can::Point& target, net::MsgType type, std::size_t bytes,
+    std::size_t ttl,
+    const std::shared_ptr<std::function<void(NodeId)>>& done) {
+  if (!space_.contains(at)) return;  // current hop churned out: message lost
+  if (space_.zone_of(at).contains(target)) {
+    (*done)(at);
+    return;
+  }
+  if (ttl == 0) {
+    SOC_LOG(kDebug) << "route TTL exhausted at node " << at.value;
+    return;
+  }
+
+  // Greedy choice over adjacent neighbors plus (optionally) index fingers,
+  // ranked by (containment, box distance, center distance) — the strictly
+  // decreasing key avoids cycles and resolves corner/boundary plateaus
+  // (see CanSpace::next_hop).
+  NodeId best;
+  double best_d = space_.zone_of(at).distance_sq(target);
+  double best_c = space_.zone_of(at).center_distance_sq(target);
+  auto consider = [&](NodeId cand) {
+    if (cand == at || !space_.contains(cand)) return;
+    const can::Zone& z = space_.zone_of(cand);
+    if (z.contains(target)) {
+      best = cand;
+      best_d = -1.0;
+      best_c = -1.0;
+      return;
+    }
+    const double d = z.distance_sq(target);
+    const double c = z.center_distance_sq(target);
+    if (d < best_d || (d == best_d && c < best_c) ||
+        (d == best_d && c == best_c && best.valid() && cand < best)) {
+      best = cand;
+      best_d = d;
+      best_c = c;
+    }
+  };
+  for (const NodeId n : space_.neighbors_of(at)) consider(n);
+  if (config_.long_link_routing && state_.contains(at)) {
+    const IndexTable& tbl = state(at).table;
+    for (std::size_t d = 0; d < space_.dims(); ++d) {
+      for (const can::Direction dir :
+           {can::Direction::kNegative, can::Direction::kPositive}) {
+        for (const auto& e : tbl.live_entries(d, dir, sim_.now())) {
+          consider(e.id);
+        }
+      }
+    }
+  }
+  if (!best.valid()) {
+    SOC_LOG(kDebug) << "route stalled at node " << at.value;
+    return;
+  }
+  bus_.send(at, best, type, bytes,
+            [this, best, target, type, bytes, ttl, done] {
+              route_step(best, target, type, bytes, ttl - 1, done);
+            });
+}
+
+// ---------------------------------------------------------------------------
+// State updates
+
+void IndexSystem::publish_now(NodeId id) {
+  if (!provider_) return;
+  const std::optional<Record> record = provider_(id);
+  if (!record.has_value()) return;
+  SOC_CHECK(record->location.dims() == space_.dims());
+
+  // If the previous record was filed under a different duty node, send an
+  // invalidation there — otherwise the overwrite below suffices.  (A real
+  // provider caches its last duty node's identity, which the owner_of
+  // lookup stands in for.)
+  const auto last = last_location_.find(id);
+  if (last != last_location_.end() && space_.size() > 0 &&
+      space_.owner_of(last->second) != space_.owner_of(record->location)) {
+    ++activity_.invalidations;
+    route(id, last->second, net::MsgType::kStateUpdate,
+          config_.index_msg_bytes,
+          [this, id](NodeId old_duty) { cache(old_duty).erase(id); });
+  }
+  last_location_[id] = record->location;
+  ++activity_.publishes;
+
+  route(id, record->location, net::MsgType::kStateUpdate,
+        config_.state_msg_bytes,
+        [this, r = *record](NodeId duty) { cache(duty).put(r); });
+}
+
+// ---------------------------------------------------------------------------
+// Index diffusion (Algorithms 1 and 2)
+
+std::optional<NodeId> IndexSystem::pick_index_node(NodeId id, std::size_t dim,
+                                                   can::Direction dir) {
+  NodeState& st = state(id);
+  // Prefer a live table entry; fall back to an adjacent directional
+  // neighbor (always a valid 2^0 index node) so diffusion still works
+  // before the first probe round completes.
+  if (auto picked =
+          st.table.pick(dim, dir, config_.select_policy, sim_.now(), st.rng);
+      picked.has_value() && space_.contains(*picked)) {
+    return picked;
+  }
+  if (!space_.contains(id)) return std::nullopt;
+  const auto adjacent = space_.directional_neighbors(id, dim, dir);
+  if (adjacent.empty()) return std::nullopt;
+  return adjacent[st.rng.pick_index(adjacent.size())];
+}
+
+void IndexSystem::diffuse_now(NodeId id) {
+  NodeState& st = state(id);
+  ++activity_.diffusion_rounds;
+  st.cache.prune(sim_.now());
+  if (!st.cache.has_live_records(sim_.now())) return;  // Alg. 1 guard
+  ++activity_.diffusion_initiations;
+
+  const std::size_t L = config_.index_fanout_L;
+  if (config_.diffusion == DiffusionMethod::kHopping) {
+    // Alg. 1: a single message {ID, dim j, L} to a random NINode along the
+    // first *available* dimension; relays cascade across the remaining
+    // dimensions (Alg. 2).  Nodes sitting on the negative edge of early
+    // dimensions (common: most hosts' CPU sits far below c_max) start at
+    // the first dimension that actually has negative index nodes.
+    for (std::size_t j = 0; j < space_.dims(); ++j) {
+      const auto target = pick_index_node(id, j, can::Direction::kNegative);
+      if (!target.has_value()) continue;
+      bus_.send(id, *target, net::MsgType::kIndexDiffuse,
+                config_.index_msg_bytes, [this, at = *target, id, j, L] {
+                  handle_diffuse(at, id, j, L);
+                });
+      return;
+    }
+    return;
+  }
+
+  // Spreading (SID).  Strict Fig. 3(a) reading: the sender alone selects
+  // L NINodes on each of its d dimension tracks and receivers only store
+  // the index — narrow, axis-aligned coverage, which is exactly why the
+  // paper finds SID unable to adapt to intensive query ranges.
+  if (config_.spreading_scope == SpreadingScope::kSenderTracks) {
+    for (std::size_t d = 0; d < space_.dims(); ++d) {
+      for (std::size_t i = 0; i < L; ++i) {
+        const auto target = pick_index_node(id, d, can::Direction::kNegative);
+        if (!target.has_value()) break;
+        bus_.send(id, *target, net::MsgType::kIndexDiffuse,
+                  config_.index_msg_bytes, [this, at = *target, id] {
+                    if (!state_.contains(at) || !space_.contains(at)) return;
+                    ++activity_.diffusion_relays;
+                    pi_list(at).add(id, sim_.now());
+                  });
+      }
+    }
+    return;
+  }
+  // ω-based cascade reading: the sender picks all L same-dimension targets
+  // at once (one hop instead of a relay chain) and each receiver opens the
+  // next dimension the same way, so the total message count matches the
+  // paper's ω = L(L^d−1)/(L−1) for both methods.
+  spread_dimension(id, id, 0);
+}
+
+void IndexSystem::spread_dimension(NodeId at, NodeId subject,
+                                   std::size_t dim) {
+  // Find the first dimension (from `dim` on) with available targets, as in
+  // the hopping initiation.
+  for (std::size_t j = dim; j < space_.dims(); ++j) {
+    bool sent = false;
+    for (std::size_t i = 0; i < config_.index_fanout_L; ++i) {
+      const auto target = pick_index_node(at, j, can::Direction::kNegative);
+      if (!target.has_value()) break;
+      sent = true;
+      bus_.send(at, *target, net::MsgType::kIndexDiffuse,
+                config_.index_msg_bytes, [this, t = *target, subject, j] {
+                  if (!state_.contains(t) || !space_.contains(t)) return;
+                  ++activity_.diffusion_relays;
+                  pi_list(t).add(subject, sim_.now());
+                  spread_dimension(t, subject, j + 1);
+                });
+    }
+    if (sent) return;
+  }
+}
+
+void IndexSystem::handle_diffuse(NodeId at, NodeId subject, std::size_t dim,
+                                 std::size_t ttl) {
+  if (!state_.contains(at) || !space_.contains(at)) return;
+  ++activity_.diffusion_relays;
+  pi_list(at).add(subject, sim_.now());
+
+  // Alg. 2 lines 1–4: continue along the same dimension with TTL − 1.
+  if (ttl > 1) {
+    if (const auto next = pick_index_node(at, dim, can::Direction::kNegative);
+        next.has_value()) {
+      bus_.send(at, *next, net::MsgType::kIndexDiffuse,
+                config_.index_msg_bytes,
+                [this, n = *next, subject, dim, ttl] {
+                  handle_diffuse(n, subject, dim, ttl - 1);
+                });
+    }
+  }
+  // Alg. 2 lines 5–9: open the next *available* dimension with a fresh TTL
+  // of L (skipping dimensions where this relay sits on the negative edge).
+  for (std::size_t j = dim + 1; j < space_.dims(); ++j) {
+    const auto next = pick_index_node(at, j, can::Direction::kNegative);
+    if (!next.has_value()) continue;
+    bus_.send(at, *next, net::MsgType::kIndexDiffuse,
+              config_.index_msg_bytes,
+              [this, n = *next, subject, j,
+               L = config_.index_fanout_L] { handle_diffuse(n, subject, j, L); });
+    break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Index-table probe walks
+
+void IndexSystem::probe_now(NodeId id, std::size_t dim, can::Direction dir) {
+  probe_step(id, id, dim, dir, 0, 0, {});
+}
+
+void IndexSystem::probe_step(NodeId at, NodeId origin, std::size_t dim,
+                             can::Direction dir, std::size_t hops,
+                             std::size_t level,
+                             std::vector<IndexTable::Entry> found) {
+  if (!space_.contains(at)) return;  // walk dies with a churned-out hop
+
+  auto finish = [&] {
+    if (found.empty()) return;
+    // One report message back to the origin with all collected samples.
+    bus_.send(at, origin, net::MsgType::kIndexProbe, config_.probe_msg_bytes,
+              [this, origin, dim, dir, entries = std::move(found)] {
+                if (!state_.contains(origin)) return;
+                IndexTable& tbl = table(origin);
+                for (const auto& e : entries) {
+                  tbl.store(dim, dir, e.level, e.id, sim_.now());
+                }
+              });
+  };
+
+  if (hops > 0) {
+    // Record the node sitting exactly 2^level hops out.
+    if (hops == (std::size_t{1} << level)) {
+      found.push_back(IndexTable::Entry{at, level, sim_.now()});
+      ++level;
+    }
+  }
+
+  const auto choices = space_.directional_neighbors(at, dim, dir);
+  if (choices.empty() || hops >= config_.route_ttl) {
+    finish();
+    return;
+  }
+  NodeState& origin_state = state(origin);
+  const NodeId next = choices[origin_state.rng.pick_index(choices.size())];
+  bus_.send(at, next, net::MsgType::kIndexProbe, config_.probe_msg_bytes,
+            [this, next, origin, dim, dir, hops, level,
+             f = std::move(found)]() mutable {
+              probe_step(next, origin, dim, dir, hops + 1, level,
+                         std::move(f));
+            });
+}
+
+}  // namespace soc::index

@@ -1,0 +1,55 @@
+#include "src/index/pi_list.hpp"
+
+#include <algorithm>
+
+namespace soc::index {
+
+void PiList::add(NodeId id, SimTime now) {
+  SOC_CHECK(id.valid());
+  const auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    it->second = now;
+    return;
+  }
+  if (entries_.size() >= capacity_) {
+    auto stalest = entries_.begin();
+    for (auto e = entries_.begin(); e != entries_.end(); ++e) {
+      if (e->second < stalest->second) stalest = e;
+    }
+    entries_.erase(stalest);
+  }
+  entries_.emplace(id, now);
+}
+
+std::size_t PiList::live_count(SimTime now) const {
+  std::size_t n = 0;
+  for (const auto& [_, heard] : entries_) n += (now - heard) < ttl_;
+  return n;
+}
+
+bool PiList::contains_live(NodeId id, SimTime now) const {
+  const auto it = entries_.find(id);
+  return it != entries_.end() && (now - it->second) < ttl_;
+}
+
+std::vector<NodeId> PiList::sample(std::size_t k, SimTime now,
+                                   Rng& rng) const {
+  std::vector<NodeId> live;
+  live.reserve(entries_.size());
+  for (const auto& [id, heard] : entries_) {
+    if ((now - heard) < ttl_) live.push_back(id);
+  }
+  // Deterministic base order, then shuffle for the random subset.
+  std::sort(live.begin(), live.end());
+  rng.shuffle(live.begin(), live.end());
+  if (live.size() > k) live.resize(k);
+  return live;
+}
+
+void PiList::prune(SimTime now) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    it = ((now - it->second) >= ttl_) ? entries_.erase(it) : std::next(it);
+  }
+}
+
+}  // namespace soc::index

@@ -1,0 +1,47 @@
+// PIList — the Positive Index List each node accumulates from the proactive
+// index diffusion (Alg. 1/2): identifiers of nodes that currently hold
+// records, received from the positive direction.  Bounded capacity with
+// stale-first eviction; entries expire on a TTL so departed or drained
+// index nodes fade out.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/common/types.hpp"
+
+namespace soc::index {
+
+class PiList {
+ public:
+  PiList(std::size_t capacity, SimTime entry_ttl)
+      : capacity_(capacity), ttl_(entry_ttl) {
+    SOC_CHECK(capacity > 0);
+    SOC_CHECK(entry_ttl > 0);
+  }
+
+  /// Record that `id` advertised itself at time `now` (refreshes an
+  /// existing entry).  Evicts the stalest entry when full.
+  void add(NodeId id, SimTime now);
+
+  void erase(NodeId id) { entries_.erase(id); }
+  void clear() { entries_.clear(); }
+
+  [[nodiscard]] std::size_t live_count(SimTime now) const;
+  [[nodiscard]] bool contains_live(NodeId id, SimTime now) const;
+
+  /// Up to `k` distinct random live entries (Alg. 4 line 1).
+  [[nodiscard]] std::vector<NodeId> sample(std::size_t k, SimTime now,
+                                           Rng& rng) const;
+
+  void prune(SimTime now);
+
+ private:
+  std::size_t capacity_;
+  SimTime ttl_;
+  std::unordered_map<NodeId, SimTime> entries_;  // id → last heard
+};
+
+}  // namespace soc::index

@@ -1,0 +1,77 @@
+#include "src/index/record.hpp"
+
+namespace soc::index {
+
+void RecordStore::put(const Record& r) {
+  SOC_CHECK(r.provider.valid());
+  records_[r.provider] = r;
+}
+
+bool RecordStore::erase(NodeId provider) {
+  return records_.erase(provider) > 0;
+}
+
+std::size_t RecordStore::live_count(SimTime now) const {
+  std::size_t n = 0;
+  for (const auto& [_, r] : records_) n += !r.expired(now);
+  return n;
+}
+
+bool RecordStore::has_live_records(SimTime now) const {
+  for (const auto& [_, r] : records_) {
+    if (!r.expired(now)) return true;
+  }
+  return false;
+}
+
+std::vector<Record> RecordStore::qualified(const ResourceVector& demand,
+                                           SimTime now) const {
+  std::vector<Record> out;
+  for (const auto& [_, r] : records_) {
+    if (!r.expired(now) && r.qualifies(demand)) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<Record> RecordStore::all_live(SimTime now) const {
+  std::vector<Record> out;
+  out.reserve(records_.size());
+  for (const auto& [_, r] : records_) {
+    if (!r.expired(now)) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<Record> RecordStore::extract_in_zone(const can::Zone& zone,
+                                                 SimTime now) {
+  std::vector<Record> out;
+  for (auto it = records_.begin(); it != records_.end();) {
+    if (it->second.expired(now)) {
+      it = records_.erase(it);
+      continue;
+    }
+    if (zone.contains(it->second.location)) {
+      out.push_back(it->second);
+      it = records_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+std::vector<Record> RecordStore::extract_all() {
+  std::vector<Record> out;
+  out.reserve(records_.size());
+  for (const auto& [_, r] : records_) out.push_back(r);
+  records_.clear();
+  return out;
+}
+
+void RecordStore::prune(SimTime now) {
+  for (auto it = records_.begin(); it != records_.end();) {
+    it = it->second.expired(now) ? records_.erase(it) : std::next(it);
+  }
+}
+
+}  // namespace soc::index

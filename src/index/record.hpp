@@ -1,0 +1,69 @@
+// Availability records — the state messages nodes publish into the CAN
+// space — and the per-node record cache γ.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "src/can/geometry.hpp"
+#include "src/common/resource_vector.hpp"
+#include "src/common/types.hpp"
+
+namespace soc::index {
+
+/// One advertised availability vector.  `location` is the CAN point the
+/// record was filed under (normalized availability, plus the virtual
+/// coordinate in the VD variant), kept with the record so zone changes can
+/// re-home it without re-deriving the mapping.
+struct Record {
+  NodeId provider;
+  ResourceVector availability;
+  can::Point location;
+  SimTime published_at = 0;
+  SimTime expires_at = 0;
+
+  [[nodiscard]] bool expired(SimTime now) const { return now >= expires_at; }
+  [[nodiscard]] bool qualifies(const ResourceVector& demand) const {
+    return availability.dominates(demand);
+  }
+};
+
+/// The cache γ a duty node keeps: the newest record per provider, with TTL
+/// expiry (the paper uses a 600 s record age and 400 s update cycle).
+class RecordStore {
+ public:
+  /// Insert or refresh the provider's record.
+  void put(const Record& r);
+
+  /// Remove a provider's record (e.g. once its resources were claimed).
+  bool erase(NodeId provider);
+
+  /// Non-expired record count.
+  [[nodiscard]] std::size_t live_count(SimTime now) const;
+  [[nodiscard]] bool has_live_records(SimTime now) const;
+
+  /// All non-expired records that componentwise dominate the demand.
+  [[nodiscard]] std::vector<Record> qualified(const ResourceVector& demand,
+                                              SimTime now) const;
+
+  /// All non-expired records (for re-homing and the full range query).
+  [[nodiscard]] std::vector<Record> all_live(SimTime now) const;
+
+  /// Extract (remove and return) the live records lying inside `zone` —
+  /// used when zone ownership moves.
+  std::vector<Record> extract_in_zone(const can::Zone& zone, SimTime now);
+
+  /// Extract every record unconditionally (owner departure).
+  std::vector<Record> extract_all();
+
+  /// Drop expired entries; called opportunistically.
+  void prune(SimTime now);
+
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+
+ private:
+  std::unordered_map<NodeId, Record> records_;
+};
+
+}  // namespace soc::index

@@ -1,0 +1,54 @@
+#include "src/metrics/csv.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/common/assert.hpp"
+
+namespace soc::metrics {
+
+std::string series_to_csv(
+    const std::vector<std::string>& labels,
+    const std::vector<std::vector<SeriesSample>>& series) {
+  SOC_CHECK(labels.size() == series.size());
+  std::ostringstream os;
+  os << "hour";
+  for (const auto& label : labels) {
+    os << ',' << label << "_t_ratio" << ',' << label << "_f_ratio" << ','
+       << label << "_fairness";
+  }
+  os << '\n';
+
+  std::size_t rows = 0;
+  for (const auto& s : series) rows = std::max(rows, s.size());
+  for (std::size_t row = 0; row < rows; ++row) {
+    bool hour_written = false;
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      if (!hour_written) {
+        const double hour =
+            row < series[i].size() ? series[i][row].hour : 0.0;
+        os << hour;
+        hour_written = true;
+      }
+      if (row < series[i].size()) {
+        const auto& s = series[i][row];
+        os << ',' << s.t_ratio << ',' << s.f_ratio << ',' << s.fairness;
+      } else {
+        os << ",,,";
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t written =
+      std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return written == content.size();
+}
+
+}  // namespace soc::metrics

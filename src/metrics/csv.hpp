@@ -1,0 +1,21 @@
+// CSV export for experiment series and summaries, so the bench outputs can
+// be re-plotted with any external tool.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/metrics/task_metrics.hpp"
+
+namespace soc::metrics {
+
+/// Render hourly series of several runs to CSV text:
+/// hour,<label1>_t_ratio,<label1>_f_ratio,<label1>_fairness,<label2>_...
+[[nodiscard]] std::string series_to_csv(
+    const std::vector<std::string>& labels,
+    const std::vector<std::vector<SeriesSample>>& series);
+
+/// Write text to a file; returns false on I/O failure.
+bool write_file(const std::string& path, const std::string& content);
+
+}  // namespace soc::metrics

@@ -1,0 +1,72 @@
+#include "src/metrics/task_metrics.hpp"
+
+#include <algorithm>
+
+#include "src/common/assert.hpp"
+
+namespace soc::metrics {
+
+void TaskMetrics::on_generated(SimTime at) { generated_.push_back(at); }
+void TaskMetrics::on_failed(SimTime at) { failed_.push_back(at); }
+void TaskMetrics::on_finished(SimTime at, double efficiency) {
+  finished_.push_back(Finish{at, efficiency});
+}
+
+double TaskMetrics::t_ratio() const {
+  return generated_.empty() ? 0.0
+                            : static_cast<double>(finished_.size()) /
+                                  static_cast<double>(generated_.size());
+}
+
+double TaskMetrics::f_ratio() const {
+  return generated_.empty() ? 0.0
+                            : static_cast<double>(failed_.size()) /
+                                  static_cast<double>(generated_.size());
+}
+
+double TaskMetrics::fairness() const {
+  std::vector<double> eff;
+  eff.reserve(finished_.size());
+  for (const auto& f : finished_) eff.push_back(f.efficiency);
+  return jain_fairness(eff);
+}
+
+std::vector<SeriesSample> TaskMetrics::series(SimTime horizon,
+                                              SimTime step) const {
+  SOC_CHECK(step > 0);
+  // Events arrive in nondecreasing time order from the simulator; sort
+  // defensively so the class also works with out-of-order insertion.
+  auto gen = generated_;
+  auto fail = failed_;
+  auto fin = finished_;
+  std::sort(gen.begin(), gen.end());
+  std::sort(fail.begin(), fail.end());
+  std::sort(fin.begin(), fin.end(),
+            [](const Finish& a, const Finish& b) { return a.at < b.at; });
+
+  std::vector<SeriesSample> out;
+  std::size_t gi = 0, fi = 0, ci = 0;
+  std::vector<double> eff;
+  for (SimTime t = step; t <= horizon; t += step) {
+    while (gi < gen.size() && gen[gi] <= t) ++gi;
+    while (fi < fail.size() && fail[fi] <= t) ++fi;
+    while (ci < fin.size() && fin[ci].at <= t) {
+      eff.push_back(fin[ci].efficiency);
+      ++ci;
+    }
+    SeriesSample s;
+    s.hour = to_hours(t);
+    s.generated = gi;
+    s.finished = ci;
+    s.failed = fi;
+    if (gi > 0) {
+      s.t_ratio = static_cast<double>(ci) / static_cast<double>(gi);
+      s.f_ratio = static_cast<double>(fi) / static_cast<double>(gi);
+    }
+    s.fairness = jain_fairness(eff);
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace soc::metrics

@@ -1,0 +1,56 @@
+// Evaluation metrics of §IV: throughput ratio T-Ratio(t), failed task
+// ratio F-Ratio(t), and Jain's fairness index over finished tasks'
+// execution efficiencies — all as cumulative hourly time series, exactly
+// the curves of Figs. 4–8.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/stats.hpp"
+#include "src/common/types.hpp"
+
+namespace soc::metrics {
+
+struct SeriesSample {
+  double hour = 0.0;
+  std::uint64_t generated = 0;
+  std::uint64_t finished = 0;
+  std::uint64_t failed = 0;
+  double t_ratio = 0.0;   ///< finished / generated (0 when none generated)
+  double f_ratio = 0.0;   ///< failed / generated
+  double fairness = 1.0;  ///< Jain index over finished tasks' efficiencies
+};
+
+class TaskMetrics {
+ public:
+  void on_generated(SimTime at);
+  /// The task could not find (or keep) any qualified node.
+  void on_failed(SimTime at);
+  /// The task finished; `efficiency` is e_ij = expected/actual time.
+  void on_finished(SimTime at, double efficiency);
+
+  [[nodiscard]] std::uint64_t generated() const { return generated_.size(); }
+  [[nodiscard]] std::uint64_t finished() const { return finished_.size(); }
+  [[nodiscard]] std::uint64_t failed() const { return failed_.size(); }
+
+  [[nodiscard]] double t_ratio() const;
+  [[nodiscard]] double f_ratio() const;
+  [[nodiscard]] double fairness() const;
+
+  /// Cumulative samples at `step` intervals from `step` to `horizon`
+  /// inclusive (the paper plots 24 hourly points over one day).
+  [[nodiscard]] std::vector<SeriesSample> series(SimTime horizon,
+                                                 SimTime step) const;
+
+ private:
+  struct Finish {
+    SimTime at;
+    double efficiency;
+  };
+  std::vector<SimTime> generated_;
+  std::vector<SimTime> failed_;
+  std::vector<Finish> finished_;
+};
+
+}  // namespace soc::metrics

@@ -1,0 +1,85 @@
+#include "src/net/message_bus.hpp"
+
+#include <numeric>
+#include <utility>
+
+namespace soc::net {
+
+std::string_view msg_type_name(MsgType t) {
+  switch (t) {
+    case MsgType::kStateUpdate:
+      return "state-update";
+    case MsgType::kIndexDiffuse:
+      return "index-diffuse";
+    case MsgType::kIndexProbe:
+      return "index-probe";
+    case MsgType::kDutyQuery:
+      return "duty-query";
+    case MsgType::kIndexAgent:
+      return "index-agent";
+    case MsgType::kIndexJump:
+      return "index-jump";
+    case MsgType::kFoundNotice:
+      return "found-notice";
+    case MsgType::kGossip:
+      return "gossip";
+    case MsgType::kKhdnSpread:
+      return "khdn-spread";
+    case MsgType::kDispatch:
+      return "dispatch";
+    case MsgType::kMaintenance:
+      return "maintenance";
+    case MsgType::kCount:
+      break;
+  }
+  return "?";
+}
+
+void TrafficStats::on_send(NodeId /*from*/, MsgType type, std::size_t bytes) {
+  ++by_type_[static_cast<std::size_t>(type)];
+  bytes_ += bytes;
+}
+
+std::uint64_t TrafficStats::sent(MsgType type) const {
+  return by_type_[static_cast<std::size_t>(type)];
+}
+
+std::uint64_t TrafficStats::total_sent() const {
+  return std::accumulate(by_type_.begin(), by_type_.end(), std::uint64_t{0});
+}
+
+double TrafficStats::per_node_cost(std::size_t node_count) const {
+  SOC_CHECK(node_count > 0);
+  return static_cast<double>(total_sent()) / static_cast<double>(node_count);
+}
+
+void TrafficStats::reset() {
+  by_type_.fill(0);
+  bytes_ = 0;
+}
+
+MessageBus::MessageBus(sim::Simulator& sim, const Topology& topo)
+    : sim_(sim), topo_(topo), jitter_rng_(sim.rng().fork("message-bus")) {}
+
+void MessageBus::set_liveness(std::function<bool(NodeId)> is_alive) {
+  is_alive_ = std::move(is_alive);
+}
+
+void MessageBus::send(NodeId from, NodeId to, MsgType type, std::size_t bytes,
+                      DeliverFn on_deliver) {
+  SOC_CHECK(from.valid() && to.valid());
+  stats_.on_send(from, type, bytes);
+  SimTime delay;
+  if (from == to) {
+    delay = 1;  // loopback: negligible but strictly positive for causality
+  } else {
+    delay = topo_.transfer_delay(from, to, bytes, jitter_rng_);
+  }
+  sim_.schedule_after(
+      delay, [this, to, fn = std::move(on_deliver)] {
+        if (is_alive_ && !is_alive_(to)) return;  // message lost to churn
+        fn();
+      });
+}
+
+}  // namespace soc::net

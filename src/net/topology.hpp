@@ -1,0 +1,68 @@
+// Internet model from the paper's experimental setting: nodes are grouped
+// into LANs; two nodes in the same LAN communicate at LAN bandwidth
+// (5–10 Mbps), nodes in different LANs communicate via their WAN access
+// links (0.2–2 Mbps) with ~200 ms one-way WAN delay.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/common/types.hpp"
+
+namespace soc::net {
+
+struct TopologyConfig {
+  std::size_t lan_size = 50;            ///< hosts per LAN
+  double lan_bandwidth_mbps_lo = 5.0;   ///< Table I: LAN 5–10 Mbps
+  double lan_bandwidth_mbps_hi = 10.0;
+  double wan_bandwidth_mbps_lo = 0.2;   ///< Table I: WAN 0.2–2 Mbps
+  double wan_bandwidth_mbps_hi = 2.0;
+  SimTime lan_latency = millis(1);      ///< one-way propagation, same LAN
+  SimTime wan_latency = millis(200);    ///< paper: ~200 ms per WAN delay
+  double latency_jitter = 0.1;          ///< ± fraction applied per message
+};
+
+/// Static-plus-growable host topology.  Hosts added later (churn joins)
+/// are assigned to LANs round-robin so LAN populations stay balanced.
+class Topology {
+ public:
+  Topology(TopologyConfig config, Rng rng);
+
+  /// Register a host and return its id.
+  NodeId add_host();
+  /// Register `n` hosts.
+  void add_hosts(std::size_t n);
+
+  [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
+  [[nodiscard]] std::size_t lan_of(NodeId id) const;
+  [[nodiscard]] bool same_lan(NodeId a, NodeId b) const;
+
+  /// Effective bandwidth between two hosts in Mbps.
+  [[nodiscard]] double bandwidth_mbps(NodeId a, NodeId b) const;
+  /// WAN access bandwidth of one host in Mbps (Table I per-node draw).
+  [[nodiscard]] double wan_bandwidth_mbps(NodeId id) const;
+
+  /// One-way propagation latency between two hosts (no jitter applied).
+  [[nodiscard]] SimTime base_latency(NodeId a, NodeId b) const;
+
+  /// Full one-way transfer delay for a message of `bytes` between `a` and
+  /// `b`, with deterministic jitter drawn from `jitter_rng`.
+  [[nodiscard]] SimTime transfer_delay(NodeId a, NodeId b, std::size_t bytes,
+                                       Rng& jitter_rng) const;
+
+  [[nodiscard]] const TopologyConfig& config() const { return config_; }
+
+ private:
+  struct Host {
+    std::size_t lan;
+    double wan_bandwidth_mbps;
+  };
+
+  TopologyConfig config_;
+  Rng rng_;
+  std::vector<Host> hosts_;
+  std::vector<double> lan_bandwidth_mbps_;  // per LAN
+};
+
+}  // namespace soc::net

@@ -1,0 +1,41 @@
+#include "src/psm/checkpoint.hpp"
+
+#include <algorithm>
+
+namespace soc::psm {
+
+void CheckpointStore::record(TaskId id,
+                             const std::array<double, kRateDims>& remaining,
+                             SimTime now) {
+  auto& entry = entries_[id];
+  entry.remaining = remaining;
+  entry.taken_at = now;
+}
+
+std::optional<CheckpointStore::Checkpoint> CheckpointStore::lookup(
+    TaskId id) const {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::uint32_t CheckpointStore::note_restart(TaskId id, SimTime now) {
+  auto& entry = entries_[id];
+  if (entry.taken_at == 0 && entry.restarts == 0) entry.taken_at = now;
+  return ++entry.restarts;
+}
+
+void CheckpointStore::erase(TaskId id) { entries_.erase(id); }
+
+double CheckpointStore::lost_work(
+    TaskId id, const std::array<double, kRateDims>& remaining_now) const {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return 0.0;
+  double lost = 0.0;
+  for (std::size_t k = 0; k < kRateDims; ++k) {
+    lost += std::max(0.0, it->second.remaining[k] - remaining_now[k]);
+  }
+  return lost;
+}
+
+}  // namespace soc::psm

@@ -1,0 +1,45 @@
+#include "src/sim/event_queue.hpp"
+
+#include <utility>
+
+namespace soc::sim {
+
+EventHandle EventQueue::push(SimTime at, EventFn fn) {
+  SOC_CHECK(fn != nullptr);
+  const std::uint64_t id = next_id_++;
+  heap_.push(Entry{at, next_seq_++, id});
+  fns_.emplace(id, std::move(fn));
+  return EventHandle{id};
+}
+
+bool EventQueue::cancel(EventHandle h) {
+  return h.valid() && fns_.erase(h.id) > 0;
+}
+
+void EventQueue::skim() {
+  while (!heap_.empty() && !fns_.contains(heap_.top().id)) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  // skim() only removes dead entries, so a const_cast-free variant would
+  // require a mutable heap; keep the API honest by scanning here instead.
+  auto* self = const_cast<EventQueue*>(this);
+  self->skim();
+  return heap_.empty() ? kSimTimeNever : heap_.top().at;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  skim();
+  SOC_CHECK_MSG(!heap_.empty(), "pop() on empty event queue");
+  const Entry top = heap_.top();
+  heap_.pop();
+  auto it = fns_.find(top.id);
+  SOC_CHECK(it != fns_.end());
+  Popped out{top.at, std::move(it->second)};
+  fns_.erase(it);
+  return out;
+}
+
+}  // namespace soc::sim

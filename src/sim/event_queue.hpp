@@ -1,0 +1,69 @@
+// Deterministic pending-event set for the discrete-event simulator.
+//
+// Events at the same timestamp are executed in schedule order (a per-queue
+// monotone sequence number breaks ties), so a simulation run is a pure
+// function of its seed — the property all reproduction experiments rely on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/assert.hpp"
+#include "src/common/types.hpp"
+
+namespace soc::sim {
+
+using EventFn = std::function<void()>;
+
+/// Handle for cancelling a scheduled event.  Cancellation is lazy: the
+/// entry stays in the heap but is skipped when popped.
+struct EventHandle {
+  std::uint64_t id = 0;
+  [[nodiscard]] bool valid() const { return id != 0; }
+};
+
+class EventQueue {
+ public:
+  EventHandle push(SimTime at, EventFn fn);
+
+  /// Cancel a previously scheduled event.  Returns false if the event was
+  /// unknown (already executed or already cancelled).
+  bool cancel(EventHandle h);
+
+  [[nodiscard]] bool empty() const { return fns_.empty(); }
+  [[nodiscard]] std::size_t size() const { return fns_.size(); }
+
+  /// Earliest live event time, or kSimTimeNever when empty.
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Pop and return the earliest live event.  Requires !empty().
+  struct Popped {
+    SimTime at;
+    EventFn fn;
+  };
+  Popped pop();
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    std::uint64_t id;
+    bool operator>(const Entry& o) const {
+      if (at != o.at) return at > o.at;
+      return seq > o.seq;
+    }
+  };
+
+  /// Remove cancelled entries sitting at the heap top.
+  void skim();
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<std::uint64_t, EventFn> fns_;  // live events by id
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace soc::sim

@@ -1,0 +1,68 @@
+#include "src/workload/generator.hpp"
+
+#include <algorithm>
+
+namespace soc::workload {
+
+ResourceVector NodeGenerator::generate(Rng& rng) const {
+  const int procs =
+      config_.processors[rng.pick_index(config_.processors.size())];
+  const double rate = config_.rate_per_processor[rng.pick_index(
+      config_.rate_per_processor.size())];
+  ResourceVector c(psm::kDims);
+  c[psm::kCpu] = procs * rate;
+  c[psm::kIo] = config_.io_speed[rng.pick_index(config_.io_speed.size())];
+  c[psm::kNet] = rng.uniform(config_.net_lo, config_.net_hi);
+  c[psm::kDisk] = config_.disk_gb[rng.pick_index(config_.disk_gb.size())];
+  c[psm::kMemory] =
+      config_.memory_mb[rng.pick_index(config_.memory_mb.size())];
+  return c;
+}
+
+ResourceVector NodeGenerator::cmax() const {
+  ResourceVector c(psm::kDims);
+  c[psm::kCpu] = static_cast<double>(*std::max_element(
+                     config_.processors.begin(), config_.processors.end())) *
+                 *std::max_element(config_.rate_per_processor.begin(),
+                                   config_.rate_per_processor.end());
+  c[psm::kIo] =
+      *std::max_element(config_.io_speed.begin(), config_.io_speed.end());
+  c[psm::kNet] = config_.net_hi;
+  c[psm::kDisk] =
+      *std::max_element(config_.disk_gb.begin(), config_.disk_gb.end());
+  c[psm::kMemory] =
+      *std::max_element(config_.memory_mb.begin(), config_.memory_mb.end());
+  return c;
+}
+
+psm::TaskSpec TaskGenerator::generate(NodeId origin, std::uint32_t seq,
+                                      SimTime now, Rng& rng) const {
+  const double lam = config_.demand_ratio;
+  psm::TaskSpec t;
+  t.id = TaskId{origin, seq};
+  t.origin = origin;
+  t.submit_time = now;
+
+  ResourceVector e(psm::kDims);
+  e[psm::kCpu] = rng.uniform(config_.cpu_lo, config_.cpu_hi) * lam;
+  e[psm::kIo] = rng.uniform(config_.io_lo, config_.io_hi) * lam;
+  e[psm::kNet] = rng.uniform(config_.net_lo, config_.net_hi) * lam;
+  e[psm::kDisk] = rng.uniform(config_.disk_lo, config_.disk_hi) * lam;
+  e[psm::kMemory] = rng.uniform(config_.mem_lo, config_.mem_hi) * lam;
+  t.expectation = e;
+
+  const double exec_s =
+      std::clamp(rng.exponential(config_.mean_exec_seconds),
+                 config_.min_exec_seconds, config_.max_exec_seconds);
+  for (std::size_t k = 0; k < psm::kRateDims; ++k) {
+    t.workload[k] = e[k] * exec_s;
+  }
+  t.input_bytes = rng.uniform(config_.input_bytes_lo, config_.input_bytes_hi);
+  return t;
+}
+
+SimTime next_arrival_delay(double mean_seconds, Rng& rng) {
+  return std::max<SimTime>(seconds(rng.exponential(mean_seconds)), 1);
+}
+
+}  // namespace soc::workload

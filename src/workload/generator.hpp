@@ -1,0 +1,77 @@
+// Workload synthesis from Tables I and II of the paper: host capacity
+// vectors and task demand vectors under the demand-ratio λ, task workloads
+// sized for a 3000 s mean execution time, and Poisson arrivals with a
+// 3000 s mean inter-arrival per node.
+#pragma once
+
+#include <array>
+
+#include "src/common/rng.hpp"
+#include "src/psm/task.hpp"
+
+namespace soc::workload {
+
+/// Table I host population.
+struct NodeGenConfig {
+  std::array<int, 4> processors{1, 2, 4, 8};
+  std::array<double, 4> rate_per_processor{1.0, 2.0, 2.4, 3.2};
+  std::array<double, 4> io_speed{20, 40, 60, 80};
+  std::array<double, 4> memory_mb{512, 1024, 2048, 4096};
+  std::array<double, 4> disk_gb{20, 60, 120, 240};
+  double net_lo = 5.0;   ///< node network capacity: its LAN rate, 5–10 Mbps
+  double net_hi = 10.0;
+};
+
+class NodeGenerator {
+ public:
+  explicit NodeGenerator(NodeGenConfig config = {}) : config_(config) {}
+
+  /// Draw one host capacity vector {CPU, I/O, net, disk, memory}.
+  [[nodiscard]] ResourceVector generate(Rng& rng) const;
+
+  /// The componentwise capacity ceiling c_max of the population; the paper
+  /// aggregates it by gossip ([23]) — here it follows from Table I.
+  [[nodiscard]] ResourceVector cmax() const;
+
+ private:
+  NodeGenConfig config_;
+};
+
+/// Table II task demands plus the execution-time model.
+struct TaskGenConfig {
+  double demand_ratio = 1.0;  ///< λ ∈ {1, 0.5, 0.25} in the paper
+  double cpu_lo = 1.0, cpu_hi = 25.6;
+  double io_lo = 20.0, io_hi = 80.0;
+  double net_lo = 0.1, net_hi = 10.0;
+  double disk_lo = 20.0, disk_hi = 240.0;
+  double mem_lo = 512.0, mem_hi = 4096.0;
+  /// Target execution time at expectation rates: exponential with this
+  /// mean, clamped to [min, max] (overall average ≈ 3000 s).
+  double mean_exec_seconds = 3000.0;
+  double min_exec_seconds = 300.0;
+  double max_exec_seconds = 12000.0;
+  /// Task input shipped at dispatch.
+  double input_bytes_lo = 200e3;
+  double input_bytes_hi = 1e6;
+};
+
+class TaskGenerator {
+ public:
+  explicit TaskGenerator(TaskGenConfig config) : config_(config) {
+    SOC_CHECK(config.demand_ratio > 0.0);
+  }
+
+  /// Draw one task submitted by `origin` at time `now`.
+  [[nodiscard]] psm::TaskSpec generate(NodeId origin, std::uint32_t seq,
+                                       SimTime now, Rng& rng) const;
+
+  [[nodiscard]] const TaskGenConfig& config() const { return config_; }
+
+ private:
+  TaskGenConfig config_;
+};
+
+/// Poisson task arrivals: the next submission delay for any node.
+[[nodiscard]] SimTime next_arrival_delay(double mean_seconds, Rng& rng);
+
+}  // namespace soc::workload

@@ -1,0 +1,130 @@
+// Tests for gossip-based max-aggregation (the paper's [23], used by SoS to
+// obtain c_max) and its wiring into PID-CAN.
+#include <gtest/gtest.h>
+
+#include "src/can/space.hpp"
+#include "src/core/pidcan_protocol.hpp"
+#include "src/gossip/aggregation.hpp"
+#include "src/net/topology.hpp"
+#include "src/psm/task.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace soc::gossip {
+namespace {
+
+class AggregationFixture {
+ public:
+  AggregationFixture(std::size_t n, std::uint64_t seed,
+                     AggregationConfig cfg = {})
+      : sim_(seed), topo_(net::TopologyConfig{}, Rng(seed + 1)),
+        bus_(sim_, topo_), space_(2, Rng(seed + 2)),
+        agg_(sim_, bus_, cfg, Rng(seed + 3)), rng_(seed + 4) {
+    agg_.set_peer_sampler([this](NodeId id) -> std::optional<NodeId> {
+      if (!space_.contains(id)) return std::nullopt;
+      const auto& ns = space_.neighbors_of(id);
+      if (ns.empty()) return std::nullopt;
+      return ns[rng_.pick_index(ns.size())];
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      const NodeId id = topo_.add_host();
+      space_.join(id);
+      ResourceVector local{rng_.uniform(1.0, 9.0), rng_.uniform(1.0, 9.0)};
+      if (i == n / 2) local = ResourceVector{25.6, 19.0};  // the true max
+      agg_.add_node(id, local);
+      ids_.push_back(id);
+    }
+  }
+
+  sim::Simulator sim_;
+  net::Topology topo_;
+  net::MessageBus bus_;
+  can::CanSpace space_;
+  MaxAggregator agg_;
+  Rng rng_;
+  std::vector<NodeId> ids_;
+};
+
+TEST(MaxAggregation, ConvergesToGlobalMaxEverywhere) {
+  AggregationFixture fx(64, 3);
+  fx.sim_.run_until(seconds(1200));  // ~20 exchange rounds
+  std::size_t converged = 0;
+  for (const NodeId id : fx.ids_) {
+    const ResourceVector& est = fx.agg_.estimate(id);
+    converged += (est[0] == 25.6 && est[1] == 19.0);
+  }
+  // Epidemic max spreads in O(log n) rounds; essentially everyone should
+  // know the global ceiling.
+  EXPECT_GE(converged, fx.ids_.size() * 9 / 10);
+}
+
+TEST(MaxAggregation, EstimateDominatesLocalValue) {
+  AggregationFixture fx(32, 5);
+  fx.sim_.run_until(seconds(600));
+  for (const NodeId id : fx.ids_) {
+    // Estimates are monotone merges of local values; never below zero and
+    // never above the true global max.
+    const ResourceVector& est = fx.agg_.estimate(id);
+    EXPECT_TRUE(est.non_negative());
+    EXPECT_TRUE((ResourceVector{25.6, 19.0}).dominates(est));
+  }
+}
+
+TEST(MaxAggregation, EpochResetForgetsDepartedMax) {
+  AggregationConfig cfg;
+  cfg.epoch_length = seconds(600);
+  AggregationFixture fx(32, 7, cfg);
+  fx.sim_.run_until(seconds(500));  // first epoch: max known widely
+  // The holder of the maximum departs.
+  const NodeId holder = fx.ids_[32 / 2];
+  fx.agg_.remove_node(holder);
+  fx.space_.leave(holder);
+  // Two full epochs later the stale maximum must be gone everywhere.
+  fx.sim_.run_until(seconds(500 + 2 * 600 + 300));
+  for (const NodeId id : fx.ids_) {
+    if (id == holder) continue;
+    EXPECT_LT(fx.agg_.estimate(id)[0], 25.6);
+  }
+}
+
+TEST(MaxAggregation, UpdateLocalRaisesEstimate) {
+  AggregationFixture fx(8, 9);
+  const NodeId id = fx.ids_[0];
+  fx.agg_.update_local(id, ResourceVector{99.0, 1.0});
+  EXPECT_DOUBLE_EQ(fx.agg_.estimate(id)[0], 99.0);
+}
+
+TEST(MaxAggregation, ExchangesAreCounted) {
+  AggregationFixture fx(16, 11);
+  fx.sim_.run_until(seconds(600));
+  EXPECT_GT(fx.agg_.exchanges(), 16u * 5);
+}
+
+TEST(PidCanAggregation, SosUsesAggregatedBound) {
+  sim::Simulator sim(13);
+  net::Topology topo(net::TopologyConfig{}, Rng(14));
+  net::MessageBus bus(sim, topo);
+  core::PidCanOptions opt;
+  opt.slack_on_submission = true;
+  opt.aggregate_cmax = true;
+  const ResourceVector cmax{25.6, 80, 10, 240, 4096};
+  core::PidCanProtocol proto(sim, bus, cmax, opt, Rng(15));
+  ASSERT_NE(proto.aggregator(), nullptr);
+
+  proto.set_availability_source(
+      [](NodeId) -> std::optional<ResourceVector> {
+        return ResourceVector{4.0, 20.0, 6.0, 60.0, 1024.0};
+      });
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    topo.add_host();
+    proto.on_join(NodeId(i));
+  }
+  sim.run_until(seconds(1200));
+  // Every node contributes the same capacity: the aggregated bound equals
+  // it, well below the configured global c_max.
+  const ResourceVector bound = proto.cmax_bound_for(NodeId(0));
+  EXPECT_DOUBLE_EQ(bound[0], 4.0);
+  EXPECT_TRUE(cmax.dominates(bound));
+}
+
+}  // namespace
+}  // namespace soc::gossip

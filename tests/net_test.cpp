@@ -1,0 +1,128 @@
+// Unit tests for the LAN/WAN topology and message bus.
+#include <gtest/gtest.h>
+
+#include "src/net/message_bus.hpp"
+#include "src/net/topology.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace soc::net {
+namespace {
+
+TopologyConfig small_config() {
+  TopologyConfig c;
+  c.lan_size = 4;
+  c.latency_jitter = 0.0;
+  return c;
+}
+
+TEST(Topology, GroupsHostsIntoLans) {
+  Topology topo(small_config(), Rng(1));
+  topo.add_hosts(10);
+  EXPECT_EQ(topo.host_count(), 10u);
+  EXPECT_EQ(topo.lan_of(NodeId(0)), 0u);
+  EXPECT_EQ(topo.lan_of(NodeId(3)), 0u);
+  EXPECT_EQ(topo.lan_of(NodeId(4)), 1u);
+  EXPECT_EQ(topo.lan_of(NodeId(9)), 2u);
+  EXPECT_TRUE(topo.same_lan(NodeId(0), NodeId(3)));
+  EXPECT_FALSE(topo.same_lan(NodeId(3), NodeId(4)));
+}
+
+TEST(Topology, BandwidthsWithinTableIRanges) {
+  Topology topo(small_config(), Rng(2));
+  topo.add_hosts(64);
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    const double wan = topo.wan_bandwidth_mbps(NodeId(i));
+    EXPECT_GE(wan, 0.2);
+    EXPECT_LE(wan, 2.0);
+  }
+  const double lan_bw = topo.bandwidth_mbps(NodeId(0), NodeId(1));
+  EXPECT_GE(lan_bw, 5.0);
+  EXPECT_LE(lan_bw, 10.0);
+}
+
+TEST(Topology, WanBandwidthIsBottleneckOfEndpoints) {
+  Topology topo(small_config(), Rng(3));
+  topo.add_hosts(8);
+  const NodeId a(0), b(5);
+  EXPECT_DOUBLE_EQ(
+      topo.bandwidth_mbps(a, b),
+      std::min(topo.wan_bandwidth_mbps(a), topo.wan_bandwidth_mbps(b)));
+}
+
+TEST(Topology, LanFasterThanWan) {
+  Topology topo(small_config(), Rng(4));
+  topo.add_hosts(8);
+  Rng jitter(1);
+  const SimTime lan = topo.transfer_delay(NodeId(0), NodeId(1), 1000, jitter);
+  const SimTime wan = topo.transfer_delay(NodeId(0), NodeId(4), 1000, jitter);
+  EXPECT_LT(lan, wan);
+}
+
+TEST(Topology, TransferDelayScalesWithSize) {
+  Topology topo(small_config(), Rng(5));
+  topo.add_hosts(8);
+  Rng jitter(1);
+  const SimTime small = topo.transfer_delay(NodeId(0), NodeId(4), 100, jitter);
+  const SimTime big =
+      topo.transfer_delay(NodeId(0), NodeId(4), 1000000, jitter);
+  EXPECT_LT(small, big);
+  // 1 MB over at most 2 Mbps is at least 4 s of serialization.
+  EXPECT_GT(big, seconds(4.0));
+}
+
+TEST(MessageBus, DeliversWithPositiveDelay) {
+  sim::Simulator sim(7);
+  Topology topo(small_config(), Rng(7));
+  topo.add_hosts(8);
+  MessageBus bus(sim, topo);
+  SimTime delivered_at = -1;
+  bus.send(NodeId(0), NodeId(4), MsgType::kDutyQuery, 256,
+           [&] { delivered_at = sim.now(); });
+  sim.run_all();
+  EXPECT_GT(delivered_at, 0);
+  EXPECT_EQ(bus.stats().sent(MsgType::kDutyQuery), 1u);
+  EXPECT_EQ(bus.stats().total_sent(), 1u);
+}
+
+TEST(MessageBus, SelfSendStillDelivers) {
+  sim::Simulator sim(8);
+  Topology topo(small_config(), Rng(8));
+  topo.add_hosts(4);
+  MessageBus bus(sim, topo);
+  bool got = false;
+  bus.send(NodeId(1), NodeId(1), MsgType::kDispatch, 64, [&] { got = true; });
+  sim.run_all();
+  EXPECT_TRUE(got);
+}
+
+TEST(MessageBus, LivenessDropsMessagesToDeadHosts) {
+  sim::Simulator sim(9);
+  Topology topo(small_config(), Rng(9));
+  topo.add_hosts(8);
+  MessageBus bus(sim, topo);
+  bus.set_liveness([](NodeId id) { return id.value != 4; });
+  bool got = false;
+  bus.send(NodeId(0), NodeId(4), MsgType::kGossip, 64, [&] { got = true; });
+  sim.run_all();
+  EXPECT_FALSE(got);
+  // The send itself is still accounted (traffic was emitted).
+  EXPECT_EQ(bus.stats().sent(MsgType::kGossip), 1u);
+}
+
+TEST(TrafficStats, PerNodeCostAveragesTotals) {
+  TrafficStats s;
+  for (int i = 0; i < 10; ++i) s.on_send(NodeId(0), MsgType::kStateUpdate, 100);
+  EXPECT_DOUBLE_EQ(s.per_node_cost(5), 2.0);
+  EXPECT_EQ(s.bytes_sent(), 1000u);
+  s.reset();
+  EXPECT_EQ(s.total_sent(), 0u);
+}
+
+TEST(TrafficStats, MsgTypeNamesAreDistinct) {
+  EXPECT_EQ(msg_type_name(MsgType::kStateUpdate), "state-update");
+  EXPECT_EQ(msg_type_name(MsgType::kIndexJump), "index-jump");
+  EXPECT_NE(msg_type_name(MsgType::kGossip), msg_type_name(MsgType::kDispatch));
+}
+
+}  // namespace
+}  // namespace soc::net

@@ -1,0 +1,159 @@
+// Unit tests for the discrete-event engine.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_queue.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace soc::sim {
+namespace {
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.push(30, [&] { fired.push_back(3); });
+  q.push(10, [&] { fired.push_back(1); });
+  q.push(20, [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoWithinSameTimestamp) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) q.push(5, [&fired, i] { fired.push_back(i); });
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[i], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventHandle h = q.push(1, [&] { ran = true; });
+  EXPECT_TRUE(q.cancel(h));
+  EXPECT_FALSE(q.cancel(h));  // double-cancel reports failure
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventHandle h = q.push(1, [] {});
+  q.push(5, [] {});
+  q.cancel(h);
+  EXPECT_EQ(q.next_time(), 5);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.schedule_at(seconds(10), [&] { seen = sim.now(); });
+  sim.run_all();
+  EXPECT_EQ(seen, seconds(10));
+  EXPECT_EQ(sim.events_executed(), 1u);
+}
+
+TEST(Simulator, RunUntilLeavesLaterEventsQueued) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10, [&] { ++fired; });
+  sim.schedule_at(20, [&] { ++fired; });
+  sim.run_until(15);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 15);  // clock reaches the horizon
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_all();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  sim.schedule_at(1, [&] {
+    times.push_back(sim.now());
+    sim.schedule_after(4, [&] { times.push_back(sim.now()); });
+  });
+  sim.run_all();
+  EXPECT_EQ(times, (std::vector<SimTime>{1, 5}));
+}
+
+TEST(Simulator, PeriodicFiresUntilStopped) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_periodic(seconds(100), [&] {
+    ++count;
+    return count < 5;
+  });
+  sim.run_until(seconds(10000));
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Simulator, PeriodicPhaseControlsFirstFiring) {
+  Simulator sim;
+  SimTime first = -1;
+  sim.schedule_periodic(
+      seconds(100),
+      [&] {
+        if (first < 0) first = sim.now();
+        return false;
+      },
+      /*phase=*/seconds(7));
+  sim.run_all();
+  EXPECT_EQ(first, seconds(7));
+}
+
+TEST(Simulator, PeriodicJitterStaysWithinBounds) {
+  Simulator sim(99);
+  std::vector<SimTime> firings;
+  sim.schedule_periodic(
+      seconds(100),
+      [&] {
+        firings.push_back(sim.now());
+        return firings.size() < 50;
+      },
+      seconds(100), /*jitter=*/0.2);
+  sim.run_all();
+  for (std::size_t i = 1; i < firings.size(); ++i) {
+    const SimTime gap = firings[i] - firings[i - 1];
+    EXPECT_GE(gap, seconds(80));
+    EXPECT_LE(gap, seconds(120));
+  }
+}
+
+TEST(Simulator, CancelScheduledEvent) {
+  Simulator sim;
+  bool ran = false;
+  const auto h = sim.schedule_at(5, [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(h));
+  sim.run_all();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, StepExecutesSingleEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1, [&] { ++fired; });
+  sim.schedule_at(2, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  auto run = [](std::uint64_t seed) {
+    Simulator sim(seed);
+    std::vector<std::uint64_t> draws;
+    Rng r = sim.rng().fork("test");
+    for (int i = 0; i < 16; ++i) draws.push_back(r.next_u64());
+    return draws;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+}  // namespace
+}  // namespace soc::sim
