@@ -4,6 +4,9 @@
 // printing.
 #pragma once
 
+#include <sys/resource.h>
+
+#include <chrono>
 #include <cstdio>
 #include <functional>
 #include <string>
@@ -18,6 +21,7 @@ struct BenchOptions {
   double hours = 6.0;             ///< scaled default; --full → 24
   std::uint64_t seed = 1;
   bool full = false;
+  std::string json_path;          ///< --json <path>: emit a BENCH_*.json
 
   static BenchOptions parse(int argc, char** argv) {
     const CliArgs args(argc, argv);
@@ -27,6 +31,7 @@ struct BenchOptions {
         args.get_int("nodes", o.full ? 2000 : 384));
     o.hours = args.get_double("hours", o.full ? 24.0 : 6.0);
     o.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    o.json_path = args.get("json", "");
     return o;
   }
 
@@ -46,6 +51,105 @@ struct BenchOptions {
                 full ? " (paper scale)" : " (scaled; pass --full for paper scale)");
   }
 };
+
+// ---------------------------------------------------------------------------
+// Perf-trajectory JSON (--json <path>).
+//
+// Every bench can emit a machine-readable BENCH_*.json so successive PRs
+// have a perf baseline to beat.  Schema (one object per file):
+//   {
+//     "bench": "<name>",            // e.g. "hotpath"
+//     "nodes": 384, "hours": 6.0, "seed": 1, "full": false,
+//     "peak_rss_bytes": 123456789,  // getrusage high-water mark
+//     "experiments": [
+//       { "name": "HID-CAN", "wall_seconds": 1.23,
+//         "events": 1000, "events_per_sec": 813.0,
+//         "messages": 500, "messages_per_sec": 406.5,
+//         "t_ratio": 0.9, "f_ratio": 0.05, "msgs_per_node": 120.0 }
+//     ]
+//   }
+// ---------------------------------------------------------------------------
+
+/// One timed experiment run for the JSON report.
+struct PerfSample {
+  std::string name;
+  double wall_seconds = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t messages = 0;
+  double t_ratio = 0.0;
+  double f_ratio = 0.0;
+  double msgs_per_node = 0.0;
+};
+
+/// Resident-set high-water mark of this process, in bytes.
+inline std::uint64_t peak_rss_bytes() {
+  rusage u{};
+  getrusage(RUSAGE_SELF, &u);
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(u.ru_maxrss);  // macOS reports bytes
+#else
+  return static_cast<std::uint64_t>(u.ru_maxrss) * 1024;  // Linux: KiB
+#endif
+}
+
+/// Run one config under a wall-clock timer and record the hot-path rates.
+inline PerfSample timed_run(const core::ExperimentConfig& config) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const core::ExperimentResults r = core::run_experiment(config);
+  const std::chrono::duration<double> dt =
+      std::chrono::steady_clock::now() - t0;
+  PerfSample s;
+  s.name = r.protocol;
+  s.wall_seconds = dt.count();
+  s.events = r.events_executed;
+  s.messages = r.total_messages;
+  s.t_ratio = r.t_ratio;
+  s.f_ratio = r.f_ratio;
+  s.msgs_per_node = r.msg_cost_per_node;
+  return s;
+}
+
+/// Emit the perf-trajectory JSON; returns false (with a warning) on I/O
+/// failure so benches keep printing their tables regardless.
+inline bool write_perf_json(const std::string& path, const char* bench_name,
+                            const BenchOptions& opt,
+                            const std::vector<PerfSample>& samples) {
+  if (path.empty()) return true;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"%s\",\n", bench_name);
+  std::fprintf(f, "  \"nodes\": %zu,\n", opt.nodes);
+  std::fprintf(f, "  \"hours\": %.3f,\n", opt.hours);
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(opt.seed));
+  std::fprintf(f, "  \"full\": %s,\n", opt.full ? "true" : "false");
+  std::fprintf(f, "  \"peak_rss_bytes\": %llu,\n",
+               static_cast<unsigned long long>(peak_rss_bytes()));
+  std::fprintf(f, "  \"experiments\": [\n");
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const PerfSample& s = samples[i];
+    const double wall = s.wall_seconds > 0.0 ? s.wall_seconds : 1e-9;
+    std::fprintf(f,
+                 "    { \"name\": \"%s\", \"wall_seconds\": %.6f,\n"
+                 "      \"events\": %llu, \"events_per_sec\": %.1f,\n"
+                 "      \"messages\": %llu, \"messages_per_sec\": %.1f,\n"
+                 "      \"t_ratio\": %.6f, \"f_ratio\": %.6f, "
+                 "\"msgs_per_node\": %.3f }%s\n",
+                 s.name.c_str(), s.wall_seconds,
+                 static_cast<unsigned long long>(s.events),
+                 static_cast<double>(s.events) / wall,
+                 static_cast<unsigned long long>(s.messages),
+                 static_cast<double>(s.messages) / wall, s.t_ratio, s.f_ratio,
+                 s.msgs_per_node, i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
 
 /// Run all configs in parallel (each simulation stays single-threaded and
 /// deterministic); results come back in input order.

@@ -26,6 +26,72 @@ void BM_EventQueuePushPop(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(16384);
 
+// The hot-path acceptance mix: fill, cancel half, then a pop-one/push-one
+// steady state — the shape the simulator actually produces (timeouts are
+// scheduled and almost always cancelled before firing).  Callbacks carry a
+// delivery-event-sized capture (~24 bytes: context pointer plus payload),
+// like every real event in the engine; captureless lambdas would understate
+// the per-event closure cost.
+void BM_EventQueueChurnMix(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(13);
+  std::vector<sim::EventHandle> handles;
+  std::uint64_t executed = 0;
+  for (auto _ : state) {
+    sim::EventQueue q;
+    handles.clear();
+    handles.reserve(n);
+    auto make_fn = [&executed](std::uint64_t a, std::uint32_t b) {
+      return [ctx = &executed, a, b] { *ctx += a ^ b; };
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+      handles.push_back(
+          q.push(static_cast<SimTime>(rng.uniform_int(0, 1 << 20)),
+                 make_fn(i, static_cast<std::uint32_t>(i))));
+    }
+    for (std::size_t i = 0; i < n; i += 2) q.cancel(handles[i]);
+    SimTime now = 0;
+    for (std::size_t i = 0; i < n / 2; ++i) {
+      auto p = q.pop();
+      now = p.at;
+      p.fn();
+      q.push(now + static_cast<SimTime>(rng.uniform_int(1, 1 << 16)),
+             make_fn(i, 7));
+    }
+    while (!q.empty()) {
+      auto p = q.pop();
+      p.fn();
+    }
+  }
+  benchmark::DoNotOptimize(executed);
+  // Items = pushes + cancels + pops per iteration.
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(n + n / 2 + n / 2 + n) * state.iterations());
+}
+BENCHMARK(BM_EventQueueChurnMix)->Arg(1 << 20)->Unit(benchmark::kMillisecond);
+
+// The timeout pattern in isolation: every scheduled event is cancelled
+// before it can fire.  Lazy tombstones make this quadratic-ish in heap
+// residue; in-place removal keeps the heap permanently small.
+void BM_EventQueueScheduleCancel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(14);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto h =
+          q.push(static_cast<SimTime>(rng.uniform_int(0, 1 << 20)), [] {});
+      q.cancel(h);
+    }
+    benchmark::DoNotOptimize(q.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(2 * n) *
+                          state.iterations());
+}
+BENCHMARK(BM_EventQueueScheduleCancel)
+    ->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_RngUniform(benchmark::State& state) {
   Rng rng(2);
   double acc = 0;

@@ -1,0 +1,45 @@
+// Hot-path perf report: times full experiment runs (the trips through
+// EventQueue and MessageBus that dominate every figure bench) and emits the
+// BENCH_hotpath.json perf trajectory consumed by future PRs.
+//
+//   ./bench_report [--nodes N] [--hours H] [--seed S] [--full]
+//                  [--json BENCH_hotpath.json]
+//
+// Experiments run sequentially — one at a time, single-threaded — so each
+// wall-clock figure measures the simulator alone, not pool scheduling.
+#include "bench/bench_common.hpp"
+
+using namespace soc;
+using namespace soc::bench;
+using core::ProtocolKind;
+
+int main(int argc, char** argv) {
+  BenchOptions opt = BenchOptions::parse(argc, argv);
+  if (opt.json_path.empty()) opt.json_path = "BENCH_hotpath.json";
+  opt.print_header("Hot-path perf report (events/sec, messages/sec)");
+
+  const std::vector<ProtocolKind> protocols{
+      ProtocolKind::kHidCan, ProtocolKind::kNewscast, ProtocolKind::kKhdnCan};
+
+  std::vector<PerfSample> samples;
+  std::printf("\n%-14s %10s %14s %14s %14s %14s\n", "config", "wall-s",
+              "events", "events/s", "messages", "msgs/s");
+  for (const ProtocolKind p : protocols) {
+    core::ExperimentConfig c = opt.base_config();
+    c.protocol = p;
+    const PerfSample s = timed_run(c);
+    const double wall = s.wall_seconds > 0.0 ? s.wall_seconds : 1e-9;
+    std::printf("%-14s %10.3f %14llu %14.0f %14llu %14.0f\n", s.name.c_str(),
+                s.wall_seconds, static_cast<unsigned long long>(s.events),
+                static_cast<double>(s.events) / wall,
+                static_cast<unsigned long long>(s.messages),
+                static_cast<double>(s.messages) / wall);
+    samples.push_back(s);
+  }
+  std::printf("\npeak RSS: %.1f MiB\n",
+              static_cast<double>(peak_rss_bytes()) / (1024.0 * 1024.0));
+
+  if (!write_perf_json(opt.json_path, "hotpath", opt, samples)) return 1;
+  std::printf("wrote %s\n", opt.json_path.c_str());
+  return 0;
+}

@@ -7,13 +7,23 @@ namespace soc::can {
 
 namespace {
 
-void step(CanSpace& space, net::MessageBus& bus, NodeId at,
-          const Point& target, net::MsgType type, std::size_t bytes,
-          std::size_t ttl,
-          const std::shared_ptr<std::function<void(NodeId)>>& done) {
+// Everything a multi-hop route needs, allocated once per route; hop
+// closures capture only {state, at, ttl} and stay inside the InlineFn
+// small buffer.
+struct RouteState {
+  CanSpace* space;
+  net::MessageBus* bus;
+  Point target;
+  net::MsgType type;
+  std::size_t bytes;
+  ArriveFn on_arrive;
+};
+
+void step(const std::shared_ptr<RouteState>& st, NodeId at, std::size_t ttl) {
+  CanSpace& space = *st->space;
   if (!space.contains(at)) return;
-  if (space.zone_of(at).contains(target)) {
-    (*done)(at);
+  if (space.zone_of(at).contains(st->target)) {
+    st->on_arrive(at);
     return;
   }
   if (ttl == 0) return;
@@ -22,18 +32,18 @@ void step(CanSpace& space, net::MessageBus& bus, NodeId at,
   // decreasing key avoids cycles and resolves corner/boundary plateaus —
   // see CanSpace::next_hop for the rationale.
   NodeId best;
-  double best_d = space.zone_of(at).distance_sq(target);
-  double best_c = space.zone_of(at).center_distance_sq(target);
+  double best_d = space.zone_of(at).distance_sq(st->target);
+  double best_c = space.zone_of(at).center_distance_sq(st->target);
   for (const NodeId n : space.neighbors_of(at)) {
     const Zone& z = space.zone_of(n);
-    if (z.contains(target)) {
+    if (z.contains(st->target)) {
       best = n;
       best_d = -1.0;
       best_c = -1.0;
       break;
     }
-    const double d = z.distance_sq(target);
-    const double c = z.center_distance_sq(target);
+    const double d = z.distance_sq(st->target);
+    const double c = z.center_distance_sq(st->target);
     if (d < best_d || (d == best_d && c < best_c) ||
         (d == best_d && c == best_c && best.valid() && n < best)) {
       best = n;
@@ -42,20 +52,18 @@ void step(CanSpace& space, net::MessageBus& bus, NodeId at,
     }
   }
   if (!best.valid()) return;  // stalled (transient churn state)
-  bus.send(at, best, type, bytes,
-           [&space, &bus, best, target, type, bytes, ttl, done] {
-             step(space, bus, best, target, type, bytes, ttl - 1, done);
-           });
+  st->bus->send(at, best, st->type, st->bytes,
+                [st, best, ttl] { step(st, best, ttl - 1); });
 }
 
 }  // namespace
 
 void route_greedy(CanSpace& space, net::MessageBus& bus, NodeId from,
                   const Point& target, net::MsgType type, std::size_t bytes,
-                  std::size_t ttl, std::function<void(NodeId)> on_arrive) {
-  auto done =
-      std::make_shared<std::function<void(NodeId)>>(std::move(on_arrive));
-  step(space, bus, from, target, type, bytes, ttl, done);
+                  std::size_t ttl, ArriveFn on_arrive) {
+  auto st = std::make_shared<RouteState>(RouteState{
+      &space, &bus, target, type, bytes, std::move(on_arrive)});
+  step(st, from, ttl);
 }
 
 }  // namespace soc::can

@@ -5,18 +5,24 @@
 #pragma once
 
 #include <cstddef>
-#include <functional>
 
 #include "src/can/space.hpp"
+#include "src/common/inline_fn.hpp"
 #include "src/net/message_bus.hpp"
 
 namespace soc::can {
 
+using ArriveFn = InlineFn<void(NodeId)>;
+
 /// Route from `from` toward `target`; `on_arrive(duty)` runs at the zone
 /// owner.  The message is silently lost if a hop churns out, greedy
 /// progress stalls, or `ttl` hops are exhausted.
+///
+/// Per-route cost: one allocation for the shared route state (target point,
+/// arrival callback); every per-hop forwarding closure is slot-sized and
+/// lives inside the event-queue slab.
 void route_greedy(CanSpace& space, net::MessageBus& bus, NodeId from,
                   const Point& target, net::MsgType type, std::size_t bytes,
-                  std::size_t ttl, std::function<void(NodeId)> on_arrive);
+                  std::size_t ttl, ArriveFn on_arrive);
 
 }  // namespace soc::can

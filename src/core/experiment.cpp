@@ -472,6 +472,8 @@ ExperimentResults Experiment::results() const {
   r.f_ratio = metrics_.f_ratio();
   r.fairness = metrics_.fairness();
   r.total_messages = bus_->stats().total_sent();
+  r.messages_delivered = bus_->stats().total_delivered();
+  r.messages_lost = bus_->stats().total_lost();
   r.msg_cost_per_node = bus_->stats().per_node_cost(
       std::max<std::size_t>(config_.nodes, 1));
   r.avg_query_delay_s = query_delay_s_.mean();

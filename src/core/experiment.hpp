@@ -99,6 +99,10 @@ struct ExperimentResults {
   /// Paper's "message delivery cost": messages sent/forwarded per node.
   double msg_cost_per_node = 0.0;
   std::uint64_t total_messages = 0;
+  /// Delivery outcomes: arrived at a live host vs dropped because the
+  /// destination churned out in flight.
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_lost = 0;
   double avg_query_delay_s = 0.0;
   double avg_dispatch_attempts = 0.0;
   std::uint64_t events_executed = 0;

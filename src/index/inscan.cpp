@@ -109,21 +109,30 @@ void IndexSystem::start_periodics(NodeId id) {
 // ---------------------------------------------------------------------------
 // Greedy routing (plain CAN neighbors, optionally + index-table fingers)
 
+// Everything a multi-hop route needs, allocated once per route; hop
+// closures capture only {this, ctx, at, ttl} and stay inside the InlineFn
+// small buffer.
+struct IndexSystem::RouteCtx {
+  can::Point target;
+  net::MsgType type;
+  std::size_t bytes;
+  ArriveFn on_arrive;
+};
+
 void IndexSystem::route(NodeId from, const can::Point& target,
                         net::MsgType type, std::size_t bytes,
-                        std::function<void(NodeId)> on_arrive) {
-  auto done = std::make_shared<std::function<void(NodeId)>>(
-      std::move(on_arrive));
-  route_step(from, target, type, bytes, config_.route_ttl, done);
+                        ArriveFn on_arrive) {
+  auto ctx = std::make_shared<RouteCtx>(
+      RouteCtx{target, type, bytes, std::move(on_arrive)});
+  route_step(from, config_.route_ttl, ctx);
 }
 
-void IndexSystem::route_step(
-    NodeId at, const can::Point& target, net::MsgType type, std::size_t bytes,
-    std::size_t ttl,
-    const std::shared_ptr<std::function<void(NodeId)>>& done) {
+void IndexSystem::route_step(NodeId at, std::size_t ttl,
+                             const std::shared_ptr<RouteCtx>& ctx) {
+  const can::Point& target = ctx->target;
   if (!space_.contains(at)) return;  // current hop churned out: message lost
   if (space_.zone_of(at).contains(target)) {
-    (*done)(at);
+    ctx->on_arrive(at);
     return;
   }
   if (ttl == 0) {
@@ -172,10 +181,8 @@ void IndexSystem::route_step(
     SOC_LOG(kDebug) << "route stalled at node " << at.value;
     return;
   }
-  bus_.send(at, best, type, bytes,
-            [this, best, target, type, bytes, ttl, done] {
-              route_step(best, target, type, bytes, ttl - 1, done);
-            });
+  bus_.send(at, best, ctx->type, ctx->bytes,
+            [this, ctx, best, ttl] { route_step(best, ttl - 1, ctx); });
 }
 
 // ---------------------------------------------------------------------------

@@ -16,10 +16,12 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 
 #include "src/can/space.hpp"
+#include "src/common/inline_fn.hpp"
 #include "src/index/index_table.hpp"
 #include "src/index/pi_list.hpp"
 #include "src/index/record.hpp"
@@ -97,12 +99,16 @@ class IndexSystem {
   [[nodiscard]] PiList& pi_list(NodeId id);
   [[nodiscard]] IndexTable& table(NodeId id);
 
+  using ArriveFn = InlineFn<void(NodeId)>;
+
   /// Route a message greedily toward `target`, one bus message per hop;
   /// `on_arrive` runs at the owner of the target point.  With
   /// long_link_routing the index tables serve as additional fingers
   /// (INSCAN's O(log² n) routing); otherwise plain CAN neighbors only.
+  /// The route allocates once (shared target/callback context); every
+  /// per-hop forwarding closure stays inside the event-queue slab.
   void route(NodeId from, const can::Point& target, net::MsgType type,
-             std::size_t bytes, std::function<void(NodeId)> on_arrive);
+             std::size_t bytes, ArriveFn on_arrive);
 
   /// Publish `id`'s availability record now (also runs periodically).
   void publish_now(NodeId id);
@@ -141,11 +147,12 @@ class IndexSystem {
     Rng rng;
   };
 
+  struct RouteCtx;
+
   NodeState& state(NodeId id);
   void start_periodics(NodeId id);
-  void route_step(NodeId at, const can::Point& target, net::MsgType type,
-                  std::size_t bytes, std::size_t ttl,
-                  const std::shared_ptr<std::function<void(NodeId)>>& done);
+  void route_step(NodeId at, std::size_t ttl,
+                  const std::shared_ptr<RouteCtx>& ctx);
   void handle_diffuse(NodeId at, NodeId subject, std::size_t dim,
                       std::size_t ttl);
   /// SID spreading: emit L next-dimension messages from `at` (the sender

@@ -40,12 +40,37 @@ void TrafficStats::on_send(NodeId /*from*/, MsgType type, std::size_t bytes) {
   bytes_ += bytes;
 }
 
+void TrafficStats::on_delivered(MsgType type) {
+  ++delivered_[static_cast<std::size_t>(type)];
+}
+
+void TrafficStats::on_lost(MsgType type) {
+  ++lost_[static_cast<std::size_t>(type)];
+}
+
 std::uint64_t TrafficStats::sent(MsgType type) const {
   return by_type_[static_cast<std::size_t>(type)];
 }
 
+std::uint64_t TrafficStats::delivered(MsgType type) const {
+  return delivered_[static_cast<std::size_t>(type)];
+}
+
+std::uint64_t TrafficStats::lost(MsgType type) const {
+  return lost_[static_cast<std::size_t>(type)];
+}
+
 std::uint64_t TrafficStats::total_sent() const {
   return std::accumulate(by_type_.begin(), by_type_.end(), std::uint64_t{0});
+}
+
+std::uint64_t TrafficStats::total_delivered() const {
+  return std::accumulate(delivered_.begin(), delivered_.end(),
+                         std::uint64_t{0});
+}
+
+std::uint64_t TrafficStats::total_lost() const {
+  return std::accumulate(lost_.begin(), lost_.end(), std::uint64_t{0});
 }
 
 double TrafficStats::per_node_cost(std::size_t node_count) const {
@@ -55,6 +80,8 @@ double TrafficStats::per_node_cost(std::size_t node_count) const {
 
 void TrafficStats::reset() {
   by_type_.fill(0);
+  delivered_.fill(0);
+  lost_.fill(0);
   bytes_ = 0;
 }
 
@@ -75,11 +102,39 @@ void MessageBus::send(NodeId from, NodeId to, MsgType type, std::size_t bytes,
   } else {
     delay = topo_.transfer_delay(from, to, bytes, jitter_rng_);
   }
-  sim_.schedule_after(
-      delay, [this, to, fn = std::move(on_deliver)] {
-        if (is_alive_ && !is_alive_(to)) return;  // message lost to churn
-        fn();
-      });
+
+  // Park the callback in the slab and schedule a slot-sized closure.
+  std::uint32_t slot;
+  if (free_head_ != kNoFree) {
+    slot = free_head_;
+    free_head_ = pending_[slot].next_free;
+  } else {
+    slot = static_cast<std::uint32_t>(pending_.size());
+    pending_.emplace_back();
+  }
+  Pending& p = pending_[slot];
+  p.fn = std::move(on_deliver);
+  p.to = to;
+  p.type = type;
+  ++in_flight_;
+  sim_.schedule_after(delay, [this, slot] { deliver(slot); });
+}
+
+void MessageBus::deliver(std::uint32_t slot) {
+  Pending& p = pending_[slot];
+  DeliverFn fn = std::move(p.fn);
+  const NodeId to = p.to;
+  const MsgType type = p.type;
+  // Free the slot before invoking: the callback may send more messages.
+  p.next_free = free_head_;
+  free_head_ = slot;
+  --in_flight_;
+  if (is_alive_ && !is_alive_(to)) {
+    stats_.on_lost(type);  // message lost to churn
+    return;
+  }
+  stats_.on_delivered(type);
+  if (fn) fn();
 }
 
 }  // namespace soc::net

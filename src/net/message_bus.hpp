@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/common/inline_fn.hpp"
 #include "src/common/rng.hpp"
 #include "src/common/types.hpp"
 #include "src/net/topology.hpp"
@@ -34,13 +35,22 @@ enum class MsgType : std::uint8_t {
 
 [[nodiscard]] std::string_view msg_type_name(MsgType t);
 
-/// Traffic accounting across the whole simulation.
+/// Traffic accounting across the whole simulation.  Alongside the paper's
+/// sent-side cost metric, delivery outcomes are tracked per type: a message
+/// either reaches a live destination (delivered) or is dropped because the
+/// destination churned out before arrival (lost).
 class TrafficStats {
  public:
   void on_send(NodeId from, MsgType type, std::size_t bytes);
+  void on_delivered(MsgType type);
+  void on_lost(MsgType type);
 
   [[nodiscard]] std::uint64_t sent(MsgType type) const;
+  [[nodiscard]] std::uint64_t delivered(MsgType type) const;
+  [[nodiscard]] std::uint64_t lost(MsgType type) const;
   [[nodiscard]] std::uint64_t total_sent() const;
+  [[nodiscard]] std::uint64_t total_delivered() const;
+  [[nodiscard]] std::uint64_t total_lost() const;
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_; }
 
   /// Paper metric: messages sent/forwarded per node, averaged over the
@@ -50,14 +60,23 @@ class TrafficStats {
   void reset();
 
  private:
-  std::array<std::uint64_t, static_cast<std::size_t>(MsgType::kCount)>
-      by_type_{};
+  static constexpr std::size_t kTypes =
+      static_cast<std::size_t>(MsgType::kCount);
+
+  std::array<std::uint64_t, kTypes> by_type_{};
+  std::array<std::uint64_t, kTypes> delivered_{};
+  std::array<std::uint64_t, kTypes> lost_{};
   std::uint64_t bytes_ = 0;
 };
 
 /// Point-to-point delivery with topology-derived delay.  Liveness is
 /// consulted at delivery time so messages to churned-out hosts are lost,
 /// like UDP datagrams to a dead peer.
+///
+/// In-flight messages live in a slab with an intrusive free list: send()
+/// parks the callback there and schedules a 16-byte closure, so the per
+/// message cost is zero heap allocations (small captures stay inside the
+/// InlineFn buffer; the slab reuses slots as messages arrive).
 class MessageBus {
  public:
   MessageBus(sim::Simulator& sim, const Topology& topo);
@@ -65,7 +84,7 @@ class MessageBus {
   /// Liveness oracle; unset means "all hosts alive".
   void set_liveness(std::function<bool(NodeId)> is_alive);
 
-  using DeliverFn = std::function<void()>;
+  using DeliverFn = InlineFn<void()>;
 
   /// Send `bytes` from `from` to `to`; `on_deliver` runs at arrival time if
   /// the destination is still alive then.  Self-sends deliver after a
@@ -76,14 +95,30 @@ class MessageBus {
   [[nodiscard]] TrafficStats& stats() { return stats_; }
   [[nodiscard]] const TrafficStats& stats() const { return stats_; }
 
+  /// Messages sent but not yet arrived (slab occupancy, for tests).
+  [[nodiscard]] std::size_t in_flight() const { return in_flight_; }
+
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
 
  private:
+  struct Pending {
+    DeliverFn fn;
+    NodeId to;
+    MsgType type = MsgType::kCount;
+    std::uint32_t next_free = kNoFree;
+  };
+  static constexpr std::uint32_t kNoFree = 0xffffffffu;
+
+  void deliver(std::uint32_t slot);
+
   sim::Simulator& sim_;
   const Topology& topo_;
   Rng jitter_rng_;
   TrafficStats stats_;
   std::function<bool(NodeId)> is_alive_;
+  std::vector<Pending> pending_;
+  std::uint32_t free_head_ = kNoFree;
+  std::size_t in_flight_ = 0;
 };
 
 }  // namespace soc::net

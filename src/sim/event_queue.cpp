@@ -1,45 +1,107 @@
 #include "src/sim/event_queue.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace soc::sim {
 
+namespace {
+constexpr std::size_t kArity = 4;
+}
+
+std::uint32_t EventQueue::alloc_slot() {
+  if (free_head_ != EventHandle::kInvalidSlot) {
+    const std::uint32_t idx = free_head_;
+    free_head_ = slots_[idx].heap_pos;
+    ++slots_[idx].gen;  // even (free) -> odd (live)
+    return idx;
+  }
+  SOC_CHECK_MSG(slots_.size() < EventHandle::kInvalidSlot, "slab full");
+  slots_.emplace_back();
+  slots_.back().gen = 1;
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::free_slot(std::uint32_t idx) {
+  Slot& s = slots_[idx];
+  s.fn.reset();  // release captures immediately, not at slot reuse
+  ++s.gen;       // odd (live) -> even (free); stale handles now mismatch
+  s.heap_pos = free_head_;
+  free_head_ = idx;
+}
+
 EventHandle EventQueue::push(SimTime at, EventFn fn) {
-  SOC_CHECK(fn != nullptr);
-  const std::uint64_t id = next_id_++;
-  heap_.push(Entry{at, next_seq_++, id});
-  fns_.emplace(id, std::move(fn));
-  return EventHandle{id};
+  SOC_CHECK_MSG(static_cast<bool>(fn), "null event callback");
+  const std::uint32_t idx = alloc_slot();
+  slots_[idx].fn = std::move(fn);
+  heap_.emplace_back();  // room for the sifted-in entry
+  sift_up(heap_.size() - 1, Entry{at, next_seq_++, idx});
+  return EventHandle{idx, slots_[idx].gen};
 }
 
 bool EventQueue::cancel(EventHandle h) {
-  return h.valid() && fns_.erase(h.id) > 0;
-}
-
-void EventQueue::skim() {
-  while (!heap_.empty() && !fns_.contains(heap_.top().id)) {
-    heap_.pop();
-  }
-}
-
-SimTime EventQueue::next_time() const {
-  // skim() only removes dead entries, so a const_cast-free variant would
-  // require a mutable heap; keep the API honest by scanning here instead.
-  auto* self = const_cast<EventQueue*>(this);
-  self->skim();
-  return heap_.empty() ? kSimTimeNever : heap_.top().at;
+  if (!h.valid() || h.slot >= slots_.size()) return false;
+  Slot& s = slots_[h.slot];
+  if (s.gen != h.gen) return false;  // executed, cancelled, or recycled
+  heap_remove(s.heap_pos);
+  free_slot(h.slot);
+  return true;
 }
 
 EventQueue::Popped EventQueue::pop() {
-  skim();
   SOC_CHECK_MSG(!heap_.empty(), "pop() on empty event queue");
-  const Entry top = heap_.top();
-  heap_.pop();
-  auto it = fns_.find(top.id);
-  SOC_CHECK(it != fns_.end());
-  Popped out{top.at, std::move(it->second)};
-  fns_.erase(it);
+  const std::uint32_t idx = heap_[0].slot;
+  Popped out{heap_[0].at, std::move(slots_[idx].fn)};
+  heap_remove(0);
+  free_slot(idx);
   return out;
+}
+
+void EventQueue::heap_remove(std::uint32_t pos) {
+  const std::size_t last = heap_.size() - 1;
+  if (pos == last) {
+    heap_.pop_back();
+    return;
+  }
+  const Entry moved = heap_[last];
+  heap_.pop_back();
+  // The moved-in entry may violate the invariant in either direction.
+  if (pos > 0 && moved.before(heap_[(pos - 1) / kArity])) {
+    sift_up(pos, moved);
+  } else {
+    sift_down(pos, moved);
+  }
+}
+
+void EventQueue::sift_up(std::size_t pos, Entry e) {
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / kArity;
+    if (!e.before(heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    slots_[heap_[pos].slot].heap_pos = static_cast<std::uint32_t>(pos);
+    pos = parent;
+  }
+  heap_[pos] = e;
+  slots_[e.slot].heap_pos = static_cast<std::uint32_t>(pos);
+}
+
+void EventQueue::sift_down(std::size_t pos, Entry e) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = pos * kArity + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t end = std::min(first + kArity, n);
+    for (std::size_t c = first + 1; c < end; ++c) {
+      if (heap_[c].before(heap_[best])) best = c;
+    }
+    if (!heap_[best].before(e)) break;
+    heap_[pos] = heap_[best];
+    slots_[heap_[pos].slot].heap_pos = static_cast<std::uint32_t>(pos);
+    pos = best;
+  }
+  heap_[pos] = e;
+  slots_[e.slot].heap_pos = static_cast<std::uint32_t>(pos);
 }
 
 }  // namespace soc::sim

@@ -3,41 +3,55 @@
 // Events at the same timestamp are executed in schedule order (a per-queue
 // monotone sequence number breaks ties), so a simulation run is a pure
 // function of its seed — the property all reproduction experiments rely on.
+//
+// Layout: an indexed 4-ary min-heap over a slab arena with an intrusive
+// free list.  Heap entries carry the full sort key (time, seq) so sifting
+// touches only the contiguous heap array; the slab slot holds the callback
+// inline via InlineFn plus a generation counter.  Scheduling an event costs
+// zero heap allocations for small captures, and cancel() is an O(log n)
+// in-place heap removal — cancelled events free their slot and their
+// captures immediately instead of lingering as tombstones.  Handles are
+// generation-checked, so a stale handle to a recycled slot is rejected.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "src/common/assert.hpp"
+#include "src/common/inline_fn.hpp"
 #include "src/common/types.hpp"
 
 namespace soc::sim {
 
-using EventFn = std::function<void()>;
+using EventFn = InlineFn<void()>;
 
-/// Handle for cancelling a scheduled event.  Cancellation is lazy: the
-/// entry stays in the heap but is skipped when popped.
+/// Handle for cancelling a scheduled event: slab slot plus the generation
+/// the slot had when the event was scheduled.
 struct EventHandle {
-  std::uint64_t id = 0;
-  [[nodiscard]] bool valid() const { return id != 0; }
+  static constexpr std::uint32_t kInvalidSlot = 0xffffffffu;
+
+  std::uint32_t slot = kInvalidSlot;
+  std::uint32_t gen = 0;
+
+  [[nodiscard]] bool valid() const { return slot != kInvalidSlot; }
 };
 
 class EventQueue {
  public:
   EventHandle push(SimTime at, EventFn fn);
 
-  /// Cancel a previously scheduled event.  Returns false if the event was
-  /// unknown (already executed or already cancelled).
+  /// Cancel a previously scheduled event, removing it from the heap and
+  /// releasing its slab slot (and captures) immediately.  Returns false if
+  /// the event was unknown (already executed or already cancelled).
   bool cancel(EventHandle h);
 
-  [[nodiscard]] bool empty() const { return fns_.empty(); }
-  [[nodiscard]] std::size_t size() const { return fns_.size(); }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
 
   /// Earliest live event time, or kSimTimeNever when empty.
-  [[nodiscard]] SimTime next_time() const;
+  [[nodiscard]] SimTime next_time() const {
+    return heap_.empty() ? kSimTimeNever : heap_[0].at;
+  }
 
   /// Pop and return the earliest live event.  Requires !empty().
   struct Popped {
@@ -46,24 +60,41 @@ class EventQueue {
   };
   Popped pop();
 
+  /// Slab high-water mark: slots ever allocated (live + free-listed).
+  /// Bounded by the *peak* number of simultaneously pending events, not the
+  /// total scheduled — the stress tests assert on this.
+  [[nodiscard]] std::size_t slab_slots() const { return slots_.size(); }
+
  private:
+  /// 24-byte heap entry: the full sort key plus the owning slot, so sift
+  /// comparisons stay inside the contiguous heap array.
   struct Entry {
     SimTime at;
     std::uint64_t seq;
-    std::uint64_t id;
-    bool operator>(const Entry& o) const {
-      if (at != o.at) return at > o.at;
-      return seq > o.seq;
+    std::uint32_t slot;
+
+    /// Strict heap order: (time, schedule sequence).
+    [[nodiscard]] bool before(const Entry& o) const {
+      return at != o.at ? at < o.at : seq < o.seq;
     }
   };
 
-  /// Remove cancelled entries sitting at the heap top.
-  void skim();
+  struct Slot {
+    std::uint32_t gen = 0;       ///< odd = live, even = free
+    std::uint32_t heap_pos = 0;  ///< heap index when live; free-list next when free
+    EventFn fn;
+  };
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::unordered_map<std::uint64_t, EventFn> fns_;  // live events by id
+  std::uint32_t alloc_slot();
+  void free_slot(std::uint32_t idx);
+  void heap_remove(std::uint32_t pos);
+  void sift_up(std::size_t pos, Entry e);
+  void sift_down(std::size_t pos, Entry e);
+
+  std::vector<Entry> heap_;  ///< 4-ary min-heap
+  std::vector<Slot> slots_;  ///< slab arena
+  std::uint32_t free_head_ = EventHandle::kInvalidSlot;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t next_id_ = 1;
 };
 
 }  // namespace soc::sim

@@ -9,18 +9,22 @@ Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
 
 EventHandle Simulator::schedule_at(SimTime at, EventFn fn) {
   SOC_CHECK_MSG(at >= now_, "cannot schedule into the past");
+  SOC_CHECK_MSG(at < kSimTimeNever, "cannot schedule at kSimTimeNever");
   return queue_.push(at, std::move(fn));
 }
 
 EventHandle Simulator::schedule_after(SimTime delay, EventFn fn) {
   SOC_CHECK(delay >= 0);
-  return queue_.push(now_ + delay, std::move(fn));
+  SOC_CHECK_MSG(delay < kSimTimeNever - now_, "delay overflows SimTime");
+  return schedule_at(now_ + delay, std::move(fn));
 }
 
 bool Simulator::cancel(EventHandle h) { return queue_.cancel(h); }
 
 // Periodic processes reschedule themselves; the shared state lets the
 // caller's returned handle cancel whichever firing is currently queued.
+// Each firing's closure captures only the shared_ptr (16 bytes), so the
+// whole chain stays inside the event-queue slab — no per-firing allocation.
 struct Simulator::PeriodicState {
   Simulator* sim;
   SimTime period;
@@ -29,6 +33,21 @@ struct Simulator::PeriodicState {
   Rng jitter_rng;
   EventHandle current;
 };
+
+void Simulator::fire_periodic(std::shared_ptr<PeriodicState> state) {
+  if (!state->fn()) return;  // process asked to stop
+  SimTime delay = state->period;
+  if (state->jitter > 0.0) {
+    const double f =
+        1.0 + state->jitter * (2.0 * state->jitter_rng.uniform() - 1.0);
+    delay = static_cast<SimTime>(static_cast<double>(delay) * f);
+    if (delay < 1) delay = 1;
+  }
+  PeriodicState* s = state.get();
+  s->current = schedule_after(delay, [st = std::move(state)]() mutable {
+    st->sim->fire_periodic(std::move(st));
+  });
+}
 
 EventHandle Simulator::schedule_periodic(SimTime period,
                                          std::function<bool()> fn,
@@ -40,22 +59,12 @@ EventHandle Simulator::schedule_periodic(SimTime period,
                     rng_.fork("periodic-jitter").fork(queue_.size()),
                     EventHandle{}});
 
-  // The recursive firing lambda owns the state via shared_ptr.
-  auto fire = std::make_shared<std::function<void()>>();
-  *fire = [state, fire] {
-    if (!state->fn()) return;  // process asked to stop
-    SimTime delay = state->period;
-    if (state->jitter > 0.0) {
-      const double f = 1.0 + state->jitter * (2.0 * state->jitter_rng.uniform() - 1.0);
-      delay = static_cast<SimTime>(static_cast<double>(delay) * f);
-      if (delay < 1) delay = 1;
-    }
-    state->current = state->sim->schedule_after(delay, *fire);
-  };
-
   const SimTime first = phase >= 0 ? phase : period;
-  state->current = schedule_after(first, *fire);
-  return state->current;
+  PeriodicState* s = state.get();
+  s->current = schedule_after(first, [st = std::move(state)]() mutable {
+    st->sim->fire_periodic(std::move(st));
+  });
+  return s->current;
 }
 
 std::uint64_t Simulator::run_until(SimTime until) {

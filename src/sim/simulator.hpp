@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 #include "src/common/rng.hpp"
 #include "src/common/types.hpp"
@@ -21,7 +22,9 @@ class Simulator {
   /// Root RNG for the run; components should fork named streams from it.
   [[nodiscard]] Rng& rng() { return rng_; }
 
-  /// Schedule fn at absolute time `at` (must be >= now).
+  /// Schedule fn at absolute time `at`.  Checked: `at` must be >= now and
+  /// strictly before kSimTimeNever (the "no pending event" sentinel must
+  /// never appear as a real event time).
   EventHandle schedule_at(SimTime at, EventFn fn);
   /// Schedule fn after a non-negative delay.
   EventHandle schedule_after(SimTime delay, EventFn fn);
@@ -48,6 +51,7 @@ class Simulator {
 
  private:
   struct PeriodicState;
+  void fire_periodic(std::shared_ptr<PeriodicState> state);
 
   SimTime now_ = 0;
   EventQueue queue_;

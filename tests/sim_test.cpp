@@ -46,6 +46,67 @@ TEST(EventQueue, NextTimeSkipsCancelled) {
   EXPECT_EQ(q.size(), 1u);
 }
 
+TEST(EventQueue, StaleHandleToRecycledSlotIsRejected) {
+  EventQueue q;
+  const EventHandle h1 = q.push(1, [] {});
+  EXPECT_TRUE(q.cancel(h1));
+  // The freed slot is recycled with a bumped generation...
+  const EventHandle h2 = q.push(2, [] {});
+  EXPECT_EQ(h2.slot, h1.slot);
+  EXPECT_NE(h2.gen, h1.gen);
+  // ...so the stale handle must not cancel the new event.
+  EXPECT_FALSE(q.cancel(h1));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.cancel(h2));
+}
+
+// The old design's failure mode: lazily-cancelled events lingered in the
+// heap as tombstones, so a schedule-heavy/cancel-heavy workload (timeouts!)
+// grew memory without bound.  With in-place removal, one million
+// schedule+cancel cycles must leave both the live count and the slab
+// high-water mark at baseline.
+TEST(EventQueue, CancelledEventsReleaseSlabMemory) {
+  EventQueue q;
+  const EventHandle keeper = q.push(1'000'000'000, [] {});
+  constexpr std::size_t kBatch = 64;      // pending timeouts at any moment
+  constexpr std::size_t kCycles = 16384;  // ~1M scheduled events total
+  std::vector<EventHandle> batch;
+  for (std::size_t cycle = 0; cycle < kCycles; ++cycle) {
+    batch.clear();
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      batch.push_back(
+          q.push(static_cast<SimTime>(cycle * kBatch + i + 1), [] {}));
+    }
+    for (const EventHandle h : batch) EXPECT_TRUE(q.cancel(h));
+  }
+  // Live events back to baseline: just the keeper.
+  EXPECT_EQ(q.size(), 1u);
+  // Slab occupancy bounded by the peak number of simultaneously pending
+  // events, not the ~1M total scheduled.
+  EXPECT_LE(q.slab_slots(), kBatch + 1);
+  EXPECT_EQ(q.next_time(), 1'000'000'000);
+  EXPECT_TRUE(q.cancel(keeper));
+  EXPECT_TRUE(q.empty());
+}
+
+// Same property through the Simulator's periodic API: a periodic process
+// whose queued firing is repeatedly cancelled and re-established must not
+// grow the slab.
+TEST(Simulator, CancelledPeriodicsReleaseSlabMemory) {
+  Simulator sim;
+  std::size_t fired = 0;
+  for (int round = 0; round < 20000; ++round) {
+    const EventHandle h = sim.schedule_periodic(seconds(10), [&] {
+      ++fired;
+      return false;
+    });
+    ASSERT_TRUE(sim.cancel(h));
+  }
+  sim.run_all();
+  EXPECT_EQ(fired, 0u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
 TEST(Simulator, ClockAdvancesWithEvents) {
   Simulator sim;
   SimTime seen = -1;
@@ -141,6 +202,33 @@ TEST(Simulator, StepExecutesSingleEvent) {
   EXPECT_TRUE(sim.step());
   EXPECT_FALSE(sim.step());
   EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorDeathTest, SchedulingIntoThePastAborts) {
+  Simulator sim;
+  sim.schedule_at(seconds(10), [] {});
+  sim.run_all();
+  ASSERT_EQ(sim.now(), seconds(10));
+  EXPECT_DEATH(sim.schedule_at(seconds(5), [] {}),
+               "cannot schedule into the past");
+}
+
+TEST(SimulatorDeathTest, SchedulingAtNeverAborts) {
+  Simulator sim;
+  EXPECT_DEATH(sim.schedule_at(kSimTimeNever, [] {}),
+               "cannot schedule at kSimTimeNever");
+  EXPECT_DEATH(sim.schedule_after(kSimTimeNever, [] {}),
+               "delay overflows SimTime");
+}
+
+TEST(Simulator, ScheduleAtNowIsAllowed) {
+  Simulator sim;
+  sim.schedule_at(seconds(1), [] {});
+  sim.run_all();
+  bool ran = false;
+  sim.schedule_at(sim.now(), [&] { ran = true; });  // at == now is valid
+  sim.run_all();
+  EXPECT_TRUE(ran);
 }
 
 TEST(Simulator, DeterministicAcrossRuns) {
