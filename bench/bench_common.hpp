@@ -65,9 +65,15 @@ struct BenchOptions {
 //       { "name": "HID-CAN", "wall_seconds": 1.23,
 //         "events": 1000, "events_per_sec": 813.0,
 //         "messages": 500, "messages_per_sec": 406.5,
-//         "t_ratio": 0.9, "f_ratio": 0.05, "msgs_per_node": 120.0 }
+//         "t_ratio": 0.9, "f_ratio": 0.05, "msgs_per_node": 120.0,
+//         "traffic": [
+//           { "type": "state-update", "sent": 10, "delivered": 9,
+//             "lost": 1 } ] }
 //     ]
 //   }
+//
+// bench_compare diffs two such files and exits non-zero on regressions
+// beyond a threshold (see bench/bench_compare.cpp).
 // ---------------------------------------------------------------------------
 
 /// One timed experiment run for the JSON report.
@@ -79,6 +85,7 @@ struct PerfSample {
   double t_ratio = 0.0;
   double f_ratio = 0.0;
   double msgs_per_node = 0.0;
+  std::vector<core::ExperimentResults::MsgTypeCounts> traffic;
 };
 
 /// Resident-set high-water mark of this process, in bytes.
@@ -106,6 +113,7 @@ inline PerfSample timed_run(const core::ExperimentConfig& config) {
   s.t_ratio = r.t_ratio;
   s.f_ratio = r.f_ratio;
   s.msgs_per_node = r.msg_cost_per_node;
+  s.traffic = r.traffic_by_type;
   return s;
 }
 
@@ -138,13 +146,25 @@ inline bool write_perf_json(const std::string& path, const char* bench_name,
                  "      \"events\": %llu, \"events_per_sec\": %.1f,\n"
                  "      \"messages\": %llu, \"messages_per_sec\": %.1f,\n"
                  "      \"t_ratio\": %.6f, \"f_ratio\": %.6f, "
-                 "\"msgs_per_node\": %.3f }%s\n",
+                 "\"msgs_per_node\": %.3f,\n"
+                 "      \"traffic\": [",
                  s.name.c_str(), s.wall_seconds,
                  static_cast<unsigned long long>(s.events),
                  static_cast<double>(s.events) / wall,
                  static_cast<unsigned long long>(s.messages),
                  static_cast<double>(s.messages) / wall, s.t_ratio, s.f_ratio,
-                 s.msgs_per_node, i + 1 < samples.size() ? "," : "");
+                 s.msgs_per_node);
+    for (std::size_t t = 0; t < s.traffic.size(); ++t) {
+      const auto& m = s.traffic[t];
+      std::fprintf(f,
+                   "%s\n        { \"type\": \"%s\", \"sent\": %llu, "
+                   "\"delivered\": %llu, \"lost\": %llu }",
+                   t > 0 ? "," : "", m.type.c_str(),
+                   static_cast<unsigned long long>(m.sent),
+                   static_cast<unsigned long long>(m.delivered),
+                   static_cast<unsigned long long>(m.lost));
+    }
+    std::fprintf(f, " ] }%s\n", i + 1 < samples.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

@@ -153,6 +153,66 @@ void BM_CanGreedyRouting(benchmark::State& state) {
 }
 BENCHMARK(BM_CanGreedyRouting)->Arg(256)->Arg(1024)->Arg(4096);
 
+// Routing-heavy mix: full greedy next_hop chains over pre-drawn
+// (start, target) pairs — no per-iteration membership sampling, so the
+// number isolates the per-hop candidate scan that the cached adjacency
+// metadata prunes (the dominant cost the CAN paper attributes to greedy
+// routing: two distance evaluations per neighbor per hop).
+void BM_CanNextHopMix(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const can::CanSpace space = make_space(n, 5);
+  Rng rng(21);
+  struct Query {
+    NodeId start;
+    can::Point target;
+  };
+  std::vector<Query> queries;
+  for (int i = 0; i < 512; ++i) {
+    can::Point target(5);
+    for (std::size_t d = 0; d < 5; ++d) target[d] = rng.uniform();
+    queries.push_back(Query{space.random_member(rng), target});
+  }
+  std::size_t i = 0;
+  std::uint64_t hops = 0;
+  for (auto _ : state) {
+    const Query& q = queries[i++ & 511];
+    NodeId cur = q.start;
+    while (!space.zone_of(cur).contains(q.target)) {
+      cur = space.next_hop(cur, q.target);
+      ++hops;
+    }
+    benchmark::DoNotOptimize(cur);
+  }
+  state.counters["hops_per_route"] = benchmark::Counter(
+      static_cast<double>(hops) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_CanNextHopMix)->Arg(1024)->Arg(4096);
+
+// Directional neighbor filtering through the cached per-neighbor adjacency
+// metadata, into a reused scratch buffer — the inner loop of probe walks,
+// diffusion target picks and KHDN spreading.  Zero allocations in steady
+// state.
+void BM_CanDirectionalScan(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const can::CanSpace space = make_space(n, 5);
+  Rng rng(22);
+  std::vector<NodeId> members;
+  for (std::uint32_t i = 0; i < n; ++i) members.push_back(NodeId(i));
+  std::vector<NodeId> scratch;
+  std::size_t i = 0, total = 0;
+  for (auto _ : state) {
+    const NodeId id = members[i++ % members.size()];
+    for (std::size_t d = 0; d < 5; ++d) {
+      space.directional_neighbors(id, d, can::Direction::kNegative, scratch);
+      total += scratch.size();
+      space.directional_neighbors(id, d, can::Direction::kPositive, scratch);
+      total += scratch.size();
+    }
+  }
+  benchmark::DoNotOptimize(total);
+}
+BENCHMARK(BM_CanDirectionalScan)->Arg(1024)->Arg(4096);
+
 void BM_PsmAdmitFinish(benchmark::State& state) {
   for (auto _ : state) {
     sim::Simulator sim(7);

@@ -14,10 +14,10 @@ PartitionTree::PartitionTree(std::size_t dims, NodeId first_owner)
 }
 
 PartitionTree::TreeNode* PartitionTree::leaf_for(NodeId id) const {
-  const auto it = leaves_.find(id);
-  SOC_CHECK_MSG(it != leaves_.end(), "unknown owner");
-  SOC_DCHECK(it->second->is_leaf());
-  return it->second;
+  TreeNode* const* it = leaves_.find(id);
+  SOC_CHECK_MSG(it != nullptr, "unknown owner");
+  SOC_DCHECK((*it)->is_leaf());
+  return *it;
 }
 
 const Zone& PartitionTree::zone_of(NodeId id) const {

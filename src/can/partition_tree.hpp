@@ -8,10 +8,10 @@
 #include <cstddef>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "src/can/geometry.hpp"
+#include "src/common/dense_node_map.hpp"
 #include "src/common/types.hpp"
 
 namespace soc::can {
@@ -64,7 +64,7 @@ class PartitionTree {
   /// Remove `owner`'s leaf and repair the tree.  Requires leaf_count() > 1.
   Repair leave(NodeId owner);
 
-  /// All live owners (unordered).
+  /// All live owners, in ascending id order.
   [[nodiscard]] std::vector<NodeId> owners() const;
 
   /// Test oracle: zones of all leaves tile the unit cube exactly.
@@ -77,7 +77,7 @@ class PartitionTree {
 
   std::size_t dims_;
   std::unique_ptr<TreeNode> root_;
-  std::unordered_map<NodeId, TreeNode*> leaves_;
+  DenseNodeMap<TreeNode*> leaves_;  ///< dense by NodeId
 };
 
 }  // namespace soc::can

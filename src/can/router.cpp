@@ -30,27 +30,12 @@ void step(const std::shared_ptr<RouteState>& st, NodeId at, std::size_t ttl) {
 
   // Rank by (containment, box distance, center distance); the strictly
   // decreasing key avoids cycles and resolves corner/boundary plateaus —
-  // see CanSpace::next_hop for the rationale.
+  // see CanSpace::next_hop for the rationale.  The scan prunes candidates
+  // via the cached abutting-dimension metadata.
   NodeId best;
   double best_d = space.zone_of(at).distance_sq(st->target);
   double best_c = space.zone_of(at).center_distance_sq(st->target);
-  for (const NodeId n : space.neighbors_of(at)) {
-    const Zone& z = space.zone_of(n);
-    if (z.contains(st->target)) {
-      best = n;
-      best_d = -1.0;
-      best_c = -1.0;
-      break;
-    }
-    const double d = z.distance_sq(st->target);
-    const double c = z.center_distance_sq(st->target);
-    if (d < best_d || (d == best_d && c < best_c) ||
-        (d == best_d && c == best_c && best.valid() && n < best)) {
-      best = n;
-      best_d = d;
-      best_c = c;
-    }
-  }
+  space.scan_neighbors_toward(at, st->target, best, best_d, best_c);
   if (!best.valid()) return;  // stalled (transient churn state)
   st->bus->send(at, best, st->type, st->bytes,
                 [st, best, ttl] { step(st, best, ttl - 1); });

@@ -9,46 +9,61 @@ CanSpace::CanSpace(std::size_t dims, Rng rng) : dims_(dims), rng_(rng) {
 }
 
 CanSpace::Member& CanSpace::member(NodeId id) {
-  const auto it = members_.find(id);
-  SOC_CHECK_MSG(it != members_.end(), "unknown member");
-  return it->second;
+  Member* m = members_.find(id);
+  SOC_CHECK_MSG(m != nullptr, "unknown member");
+  return *m;
 }
 
 const CanSpace::Member& CanSpace::member(NodeId id) const {
-  const auto it = members_.find(id);
-  SOC_CHECK_MSG(it != members_.end(), "unknown member");
-  return it->second;
+  const Member* m = members_.find(id);
+  SOC_CHECK_MSG(m != nullptr, "unknown member");
+  return *m;
 }
 
-void CanSpace::insert_sorted(std::vector<NodeId>& v, NodeId id) {
-  const auto it = std::lower_bound(v.begin(), v.end(), id);
-  if (it == v.end() || *it != id) v.insert(it, id);
+void CanSpace::upsert_link(Member& m, NodeId id, std::uint8_t dim,
+                           bool positive) {
+  const auto it = std::lower_bound(m.neighbors.begin(), m.neighbors.end(), id);
+  const auto pos = it - m.neighbors.begin();
+  if (it == m.neighbors.end() || *it != id) {
+    m.neighbors.insert(it, id);
+    m.links.insert(m.links.begin() + pos, NeighborLink{id, dim, positive});
+    return;
+  }
+  // Already neighbors: the abutting dimension/side may have changed with a
+  // zone update, so always rewrite the cached metadata.
+  m.links[static_cast<std::size_t>(pos)] = NeighborLink{id, dim, positive};
 }
 
-void CanSpace::erase_sorted(std::vector<NodeId>& v, NodeId id) {
-  const auto it = std::lower_bound(v.begin(), v.end(), id);
-  if (it != v.end() && *it == id) v.erase(it);
+void CanSpace::erase_link(Member& m, NodeId id) {
+  const auto it = std::lower_bound(m.neighbors.begin(), m.neighbors.end(), id);
+  if (it != m.neighbors.end() && *it == id) {
+    m.links.erase(m.links.begin() + (it - m.neighbors.begin()));
+    m.neighbors.erase(it);
+  }
 }
 
-void CanSpace::refresh_against(NodeId id, const std::vector<NodeId>& candidates) {
+void CanSpace::refresh_against(NodeId id,
+                               const std::vector<NodeId>& candidates) {
   Member& m = member(id);
   for (const NodeId c : candidates) {
     if (c == id || !members_.contains(c)) continue;
     Member& other = member(c);
-    const bool adjacent = m.zone.adjacency_dim(other.zone).has_value();
-    if (adjacent) {
-      insert_sorted(m.neighbors, c);
-      insert_sorted(other.neighbors, id);
+    const auto adim = m.zone.adjacency_dim(other.zone);
+    if (adim.has_value()) {
+      const auto dim = static_cast<std::uint8_t>(*adim);
+      const bool positive = m.zone.positive_side(other.zone, *adim);
+      upsert_link(m, c, dim, positive);
+      upsert_link(other, id, dim, !positive);
     } else {
-      erase_sorted(m.neighbors, c);
-      erase_sorted(other.neighbors, id);
+      erase_link(m, c);
+      erase_link(other, id);
     }
   }
 }
 
 void CanSpace::drop_from_all_neighbors(NodeId id) {
   for (const NodeId n : member(id).neighbors) {
-    erase_sorted(member(n).neighbors, id);
+    erase_link(member(n), id);
   }
 }
 
@@ -67,7 +82,7 @@ Point CanSpace::join(NodeId id, std::optional<Point> point_hint) {
 
   if (!tree_.has_value()) {
     tree_.emplace(dims_, id);
-    members_.emplace(id, Member{Zone::unit(dims_), {}});
+    members_.emplace(id, Member{Zone::unit(dims_), {}, {}});
     notify_topology(id);
     return p;
   }
@@ -75,14 +90,15 @@ Point CanSpace::join(NodeId id, std::optional<Point> point_hint) {
   const NodeId owner = tree_->owner_of(p);
   tree_->split(owner, id, p);
 
-  Member& owner_m = member(owner);
   // Candidates for both halves: the splitter's old neighborhood plus the
   // two halves against each other.
-  std::vector<NodeId> candidates = owner_m.neighbors;
+  std::vector<NodeId> candidates = member(owner).neighbors;
   candidates.push_back(owner);
 
-  owner_m.zone = tree_->zone_of(owner);
-  members_.emplace(id, Member{tree_->zone_of(id), {}});
+  // Insert the joiner before touching the owner again: DenseNodeMap growth
+  // invalidates outstanding references.
+  members_.emplace(id, Member{tree_->zone_of(id), {}, {}});
+  member(owner).zone = tree_->zone_of(owner);
 
   refresh_against(owner, candidates);
   candidates.push_back(id);  // not used against itself; harmless
@@ -166,19 +182,68 @@ const std::vector<NodeId>& CanSpace::neighbors_of(NodeId id) const {
   return member(id).neighbors;
 }
 
+const std::vector<CanSpace::NeighborLink>& CanSpace::neighbor_links(
+    NodeId id) const {
+  return member(id).links;
+}
+
+void CanSpace::directional_neighbors(NodeId id, std::size_t dim, Direction dir,
+                                     std::vector<NodeId>& out) const {
+  SOC_CHECK(dim < dims_);
+  out.clear();
+  const bool want_positive = dir == Direction::kPositive;
+  for (const NeighborLink& l : member(id).links) {
+    if (l.dim == dim && l.positive == want_positive) out.push_back(l.id);
+  }
+}
+
 std::vector<NodeId> CanSpace::directional_neighbors(NodeId id, std::size_t dim,
                                                     Direction dir) const {
-  SOC_CHECK(dim < dims_);
-  const Member& m = member(id);
   std::vector<NodeId> out;
-  for (const NodeId n : m.neighbors) {
-    const Zone& nz = member(n).zone;
-    const auto adim = m.zone.adjacency_dim(nz);
-    if (!adim.has_value() || *adim != dim) continue;
-    const bool positive = m.zone.positive_side(nz, dim);
-    if ((dir == Direction::kPositive) == positive) out.push_back(n);
-  }
+  directional_neighbors(id, dim, dir, out);
   return out;
+}
+
+bool CanSpace::scan_neighbors_toward(NodeId from, const Point& target,
+                                     NodeId& best, double& best_d,
+                                     double& best_c) const {
+  const Member& m = member(from);
+  for (const NeighborLink& l : m.links) {
+    // Exact prune: the neighbor's zone starts at our boundary along its
+    // abutting dimension, so that axis alone contributes at least gap² to
+    // its box distance (an fp lower bound: distance_sq sums the identical
+    // subtraction's square with non-negative terms).  Strict > keeps
+    // plateau ties — resolved by center distance then id — intact, and a
+    // containing neighbor always has gap <= 0, so it is never pruned.
+    const double gap = l.positive ? m.zone.hi(l.dim) - target[l.dim]
+                                  : target[l.dim] - m.zone.lo(l.dim);
+    if (gap > 0.0 && gap * gap > best_d) continue;
+    if (consider_candidate_toward(l.id, target, best, best_d, best_c)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CanSpace::consider_candidate_toward(NodeId cand, const Point& target,
+                                         NodeId& best, double& best_d,
+                                         double& best_c) const {
+  const Zone& z = member(cand).zone;
+  if (z.contains(target)) {
+    best = cand;
+    best_d = -1.0;
+    best_c = -1.0;
+    return true;
+  }
+  const double d = z.distance_sq(target);
+  const double c = z.center_distance_sq(target);
+  if (d < best_d || (d == best_d && c < best_c) ||
+      (d == best_d && c == best_c && best.valid() && cand < best)) {
+    best = cand;
+    best_d = d;
+    best_c = c;
+  }
+  return false;
 }
 
 NodeId CanSpace::next_hop(NodeId from, const Point& target) const {
@@ -190,22 +255,11 @@ NodeId CanSpace::next_hop(NodeId from, const Point& target) const {
   // on zone corners, where several non-owning zones all report box
   // distance 0 and the owner may not be adjacent to the current node.
   // The key strictly decreases every hop, so routing cannot cycle.
-  NodeId best = from;
+  NodeId best;  // invalid until a neighbor strictly improves on our zone
   double best_d = m.zone.distance_sq(target);
   double best_c = m.zone.center_distance_sq(target);
-  for (const NodeId n : m.neighbors) {
-    const Zone& z = member(n).zone;
-    if (z.contains(target)) return n;
-    const double d = z.distance_sq(target);
-    const double c = z.center_distance_sq(target);
-    if (d < best_d || (d == best_d && c < best_c) ||
-        (d == best_d && c == best_c && best != from && n < best)) {
-      best = n;
-      best_d = d;
-      best_c = c;
-    }
-  }
-  SOC_CHECK_MSG(best != from, "greedy routing stalled");
+  scan_neighbors_toward(from, target, best, best_d, best_c);
+  SOC_CHECK_MSG(best.valid(), "greedy routing stalled");
   return best;
 }
 
@@ -223,8 +277,8 @@ std::vector<NodeId> CanSpace::route(NodeId from, const Point& target) const {
 std::vector<NodeId> CanSpace::member_ids() const {
   std::vector<NodeId> out;
   out.reserve(members_.size());
+  // DenseNodeMap iterates in ascending id order, so no sort is needed.
   for (const auto& [id, _] : members_) out.push_back(id);
-  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -234,9 +288,26 @@ NodeId CanSpace::random_member(Rng& rng) const {
   return ids[rng.pick_index(ids.size())];
 }
 
+bool CanSpace::verify_adjacency_cache() const {
+  for (const auto& [id, m] : members_) {
+    if (m.links.size() != m.neighbors.size()) return false;
+    for (std::size_t i = 0; i < m.links.size(); ++i) {
+      const NeighborLink& l = m.links[i];
+      if (l.id != m.neighbors[i]) return false;
+      const Member* other = members_.find(l.id);
+      if (other == nullptr) return false;
+      const auto adim = m.zone.adjacency_dim(other->zone);
+      if (!adim.has_value() || *adim != l.dim) return false;
+      if (m.zone.positive_side(other->zone, *adim) != l.positive) return false;
+    }
+  }
+  return true;
+}
+
 bool CanSpace::verify_invariants() const {
   if (members_.empty()) return true;
   if (!tree_->tiles_unit_cube()) return false;
+  if (!verify_adjacency_cache()) return false;
   const auto ids = member_ids();
   for (const NodeId a : ids) {
     if (member(a).zone == tree_->zone_of(a)) continue;

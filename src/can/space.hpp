@@ -7,16 +7,24 @@
 // candidate sets (the union of the affected zones' previous neighbors), the
 // same information real CAN nodes exchange; an O(n²) verifier used by the
 // tests checks symmetry and completeness after arbitrary churn.
+//
+// Storage is dense: members live in a DenseNodeMap indexed by NodeId (no
+// hashing on the per-hop path), and every neighbor entry caches its
+// adjacency metadata — the abutting dimension and side — maintained
+// incrementally alongside the neighbor lists.  Greedy routing uses the
+// cached side to prune candidates with a one-multiply lower bound before
+// paying for the full box/center distance, and directional filtering is a
+// flag test per neighbor instead of a d-dimensional zone comparison.
 #pragma once
 
 #include <cstddef>
 #include <functional>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "src/can/geometry.hpp"
 #include "src/can/partition_tree.hpp"
+#include "src/common/dense_node_map.hpp"
 #include "src/common/rng.hpp"
 #include "src/common/types.hpp"
 
@@ -27,6 +35,15 @@ enum class Direction : std::uint8_t { kNegative, kPositive };
 
 class CanSpace {
  public:
+  /// Cached adjacency metadata for one neighbor: the unique dimension the
+  /// two zones abut along, and which side the neighbor sits on.  Kept in
+  /// lock-step with the sorted neighbor id list.
+  struct NeighborLink {
+    NodeId id;
+    std::uint8_t dim = 0;   ///< abutting dimension
+    bool positive = false;  ///< neighbor starts where our zone ends
+  };
+
   /// Callbacks the record/index layers hook to stay consistent with zone
   /// ownership changes.
   struct Listener {
@@ -56,12 +73,46 @@ class CanSpace {
   [[nodiscard]] const Zone& zone_of(NodeId id) const;
   [[nodiscard]] NodeId owner_of(const Point& p) const;
 
-  /// Adjacent neighbors (paper definition).
+  /// Adjacent neighbors (paper definition), sorted by id.
   [[nodiscard]] const std::vector<NodeId>& neighbors_of(NodeId id) const;
 
-  /// Neighbors adjacent along `dim` on the given side.
+  /// Neighbors with their cached adjacency metadata, same order as
+  /// neighbors_of.
+  [[nodiscard]] const std::vector<NeighborLink>& neighbor_links(
+      NodeId id) const;
+
+  /// Neighbors adjacent along `dim` on the given side, written into `out`
+  /// (cleared first).  Allocation-free in steady state: pass a reused
+  /// scratch buffer.
+  void directional_neighbors(NodeId id, std::size_t dim, Direction dir,
+                             std::vector<NodeId>& out) const;
+
+  /// Allocating convenience wrapper (tests and cold paths).
   [[nodiscard]] std::vector<NodeId> directional_neighbors(
       NodeId id, std::size_t dim, Direction dir) const;
+
+  /// Greedy candidate scan over `from`'s neighbors toward `target`,
+  /// updating (best, best_d, best_c) under the (containment, box distance,
+  /// center distance, id) ranking shared by every routing layer.  `best`
+  /// starts invalid (or at a sentinel the id tie-break must not fire for);
+  /// `best_d`/`best_c` carry the incumbent's distances.  Returns true when
+  /// a neighbor zone contains the target (best set, distances forced to
+  /// -1 so no later candidate can displace it).
+  ///
+  /// Neighbors are pruned with an exact lower bound first: a neighbor's
+  /// zone starts at our boundary along its cached abutting dimension, so
+  /// that axis alone contributes gap² to its box distance; gap² > best_d
+  /// means it cannot win under the exact same tie-break chain.
+  bool scan_neighbors_toward(NodeId from, const Point& target, NodeId& best,
+                             double& best_d, double& best_c) const;
+
+  /// Evaluate one arbitrary member candidate (e.g. an INSCAN long-link
+  /// finger) under the exact same ranking scan_neighbors_toward applies to
+  /// neighbors — the single definition of the tie-break chain.  Returns
+  /// true when the candidate's zone contains the target.
+  bool consider_candidate_toward(NodeId cand, const Point& target,
+                                 NodeId& best, double& best_d,
+                                 double& best_c) const;
 
   /// Greedy CAN routing step: the neighbor whose zone is closest to the
   /// target (self if the local zone already contains it).  Deterministic
@@ -79,30 +130,41 @@ class CanSpace {
   [[nodiscard]] NodeId random_member(Rng& rng) const;
 
   /// Test oracle: zones tile the cube, neighbor sets are exactly the
-  /// adjacency relation and symmetric.
+  /// adjacency relation and symmetric, and the cached per-neighbor
+  /// adjacency metadata matches a from-scratch recomputation.
   [[nodiscard]] bool verify_invariants() const;
 
+  /// The metadata check alone (cheaper; used by the churn stress test).
+  [[nodiscard]] bool verify_adjacency_cache() const;
+
  private:
+  /// `neighbors` and `links` are parallel arrays (links[i].id ==
+  /// neighbors[i], both sorted by id): the duplicate id column buys the
+  /// several neighbors_of() callers a ready vector<NodeId> view with no
+  /// per-call materialization.  Only upsert_link/erase_link may mutate
+  /// them, and verify_adjacency_cache() checks the lock-step invariant.
   struct Member {
     Zone zone;
-    std::vector<NodeId> neighbors;  // sorted by id
+    std::vector<NodeId> neighbors;    // sorted by id
+    std::vector<NeighborLink> links;  // parallel to `neighbors`
   };
 
   Member& member(NodeId id);
   [[nodiscard]] const Member& member(NodeId id) const;
 
   /// Recompute adjacency between `id` and every candidate, updating both
-  /// sides' sorted neighbor lists.
+  /// sides' sorted neighbor lists and cached metadata.
   void refresh_against(NodeId id, const std::vector<NodeId>& candidates);
-  static void insert_sorted(std::vector<NodeId>& v, NodeId id);
-  static void erase_sorted(std::vector<NodeId>& v, NodeId id);
+  static void upsert_link(Member& m, NodeId id, std::uint8_t dim,
+                          bool positive);
+  static void erase_link(Member& m, NodeId id);
   void drop_from_all_neighbors(NodeId id);
   void notify_topology(NodeId id);
 
   std::size_t dims_;
   Rng rng_;
   std::optional<PartitionTree> tree_;
-  std::unordered_map<NodeId, Member> members_;
+  DenseNodeMap<Member> members_;
   Listener listener_;
 };
 

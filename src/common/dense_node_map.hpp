@@ -1,0 +1,148 @@
+// DenseNodeMap<T>: per-node state keyed by NodeId, stored as a dense array.
+//
+// NodeIds are small and allocated sequentially (Topology::add_host hands
+// out 0, 1, 2, …; churned-out nodes never reuse an id), so the per-node
+// state every subsystem keeps — hosts, CAN members, index caches, gossip
+// views — fits a flat vector indexed by id.  That removes the hash-and-
+// probe from every per-message lookup, which profiling after the PR-1
+// event-queue rewrite showed was the next cost on the hot path.
+//
+// Compared to std::unordered_map<NodeId, T>:
+//   * find/at/contains are one bounds check and one flag test;
+//   * iteration is in ascending id order — deterministic by construction,
+//     so callers no longer collect-and-sort to stay seed-stable;
+//   * erase leaves a hole (ids are never reused within a run); the slot
+//     storage is reclaimed only when the map is destroyed.  Because every
+//     churn join takes a fresh increasing id, the slot array tracks total
+//     joins ever, not live population: long heavy-churn runs pay
+//     O(max id) iteration and keep one vacant std::optional<T> slot per
+//     departed node (see ROADMAP for compaction if that ever bites).
+//   * UNLIKE unordered_map, references are NOT stable across insertions:
+//     emplace/operator[] for a new id may grow the backing vector and
+//     invalidate every outstanding T&/T*.  Do not hold a reference across
+//     a call that can admit a new node.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/common/assert.hpp"
+#include "src/common/types.hpp"
+
+namespace soc {
+
+template <typename T>
+class DenseNodeMap {
+ public:
+  /// Insert a value for `id` (which must not be present).  Returns the
+  /// stored value.
+  T& emplace(NodeId id, T value) {
+    SOC_DCHECK(id.valid());
+    SOC_CHECK_MSG(!contains(id), "duplicate node id");
+    grow_to(id);
+    slots_[id.value].emplace(std::move(value));
+    ++size_;
+    return *slots_[id.value];
+  }
+
+  /// Find-or-default-construct, mirroring std::unordered_map::operator[].
+  T& operator[](NodeId id) {
+    SOC_DCHECK(id.valid());
+    grow_to(id);
+    if (!slots_[id.value].has_value()) {
+      slots_[id.value].emplace();
+      ++size_;
+    }
+    return *slots_[id.value];
+  }
+
+  [[nodiscard]] T* find(NodeId id) {
+    if (!id.valid() || id.value >= slots_.size() ||
+        !slots_[id.value].has_value()) {
+      return nullptr;
+    }
+    return &*slots_[id.value];
+  }
+  [[nodiscard]] const T* find(NodeId id) const {
+    return const_cast<DenseNodeMap*>(this)->find(id);
+  }
+
+  [[nodiscard]] bool contains(NodeId id) const { return find(id) != nullptr; }
+
+  T& at(NodeId id) {
+    T* p = find(id);
+    SOC_CHECK_MSG(p != nullptr, "unknown node id");
+    return *p;
+  }
+  const T& at(NodeId id) const {
+    const T* p = find(id);
+    SOC_CHECK_MSG(p != nullptr, "unknown node id");
+    return *p;
+  }
+
+  /// Remove `id`'s value.  Returns whether it was present.
+  bool erase(NodeId id) {
+    if (!contains(id)) return false;
+    slots_[id.value].reset();
+    --size_;
+    return true;
+  }
+
+  void clear() {
+    slots_.clear();
+    size_ = 0;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Iteration in ascending id order; *it is a {NodeId, T&} pair.
+  template <bool Const>
+  class Iterator {
+   public:
+    using Map = std::conditional_t<Const, const DenseNodeMap, DenseNodeMap>;
+    using Ref = std::conditional_t<Const, const T&, T&>;
+
+    Iterator(Map* map, std::uint32_t idx) : map_(map), idx_(idx) { skip(); }
+
+    std::pair<NodeId, Ref> operator*() const {
+      return {NodeId(idx_), *map_->slots_[idx_]};
+    }
+    Iterator& operator++() {
+      ++idx_;
+      skip();
+      return *this;
+    }
+    bool operator==(const Iterator& o) const { return idx_ == o.idx_; }
+
+   private:
+    void skip() {
+      while (idx_ < map_->slots_.size() && !map_->slots_[idx_].has_value()) {
+        ++idx_;
+      }
+    }
+    Map* map_;
+    std::uint32_t idx_;
+  };
+
+  [[nodiscard]] Iterator<false> begin() { return {this, 0}; }
+  [[nodiscard]] Iterator<false> end() {
+    return {this, static_cast<std::uint32_t>(slots_.size())};
+  }
+  [[nodiscard]] Iterator<true> begin() const { return {this, 0}; }
+  [[nodiscard]] Iterator<true> end() const {
+    return {this, static_cast<std::uint32_t>(slots_.size())};
+  }
+
+ private:
+  void grow_to(NodeId id) {
+    if (id.value >= slots_.size()) slots_.resize(id.value + 1);
+  }
+
+  std::vector<std::optional<T>> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace soc

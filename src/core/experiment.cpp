@@ -54,8 +54,8 @@ Experiment::Experiment(ExperimentConfig config)
                                               rng_.fork("topology"));
   bus_ = std::make_unique<net::MessageBus>(sim_, *topology_);
   bus_->set_liveness([this](NodeId id) {
-    const auto it = hosts_.find(id);
-    return it != hosts_.end() && it->second.alive;
+    const Host* h = hosts_.find(id);
+    return h != nullptr && h->alive;
   });
 
   const ResourceVector cmax = node_gen_.cmax();
@@ -104,9 +104,9 @@ Experiment::Experiment(ExperimentConfig config)
 
   protocol_->set_availability_source(
       [this](NodeId id) -> std::optional<ResourceVector> {
-        const auto it = hosts_.find(id);
-        if (it == hosts_.end() || !it->second.alive) return std::nullopt;
-        return it->second.scheduler->availability();
+        const Host* h = hosts_.find(id);
+        if (h == nullptr || !h->alive) return std::nullopt;
+        return h->scheduler->availability();
       });
 }
 
@@ -163,8 +163,8 @@ void Experiment::start_arrivals(NodeId id) {
     const SimTime delay = workload::next_arrival_delay(mean_s, rng_);
     if (sim_.now() + delay > config_.duration) return;
     sim_.schedule_after(delay, [this, id, schedule_next] {
-      const auto it = hosts_.find(id);
-      if (it == hosts_.end() || !it->second.alive) return;
+      const Host* h = hosts_.find(id);
+      if (h == nullptr || !h->alive) return;
       submit_task(id);
       (*schedule_next)();
     });
@@ -242,9 +242,9 @@ void Experiment::dispatch(const std::shared_ptr<TaskRun>& run,
       origin, provider, net::MsgType::kDispatch,
       static_cast<std::size_t>(run->spec.input_bytes),
       [this, run, provider, origin, responded] {
-        const auto it = hosts_.find(provider);
-        const bool admitted = it != hosts_.end() && it->second.alive &&
-                              it->second.scheduler->admit(run->spec);
+        Host* h = hosts_.find(provider);
+        const bool admitted =
+            h != nullptr && h->alive && h->scheduler->admit(run->spec);
         if (admitted) {
           in_flight_.emplace(run->spec.id, Placement{run->spec, provider});
         }
@@ -274,8 +274,8 @@ void Experiment::dispatch(const std::shared_ptr<TaskRun>& run,
 
 void Experiment::retry_or_fail(const std::shared_ptr<TaskRun>& run) {
   if (run->settled) return;
-  const auto it = hosts_.find(run->spec.origin);
-  const bool origin_alive = it != hosts_.end() && it->second.alive;
+  const Host* origin_host = hosts_.find(run->spec.origin);
+  const bool origin_alive = origin_host != nullptr && origin_host->alive;
   if (!origin_alive || run->attempts > config_.max_query_retries) {
     run->settled = true;
     metrics_.on_failed(sim_.now());
@@ -344,13 +344,13 @@ void Experiment::start_churn() {
         std::max<SimTime>(seconds(rng_.exponential(mean_gap_s)), 1);
     if (sim_.now() + delay > config_.duration) return;
     sim_.schedule_after(delay, [this, churn_once] {
-      // Departure of a random alive node...
+      // Departure of a random alive node (DenseNodeMap iterates in id
+      // order, so the candidate list is already sorted and deterministic).
       std::vector<NodeId> alive;
       alive.reserve(hosts_.size());
       for (const auto& [id, h] : hosts_) {
         if (h.alive) alive.push_back(id);
       }
-      std::sort(alive.begin(), alive.end());
       if (alive.size() > 2) {
         on_host_departed(alive[rng_.pick_index(alive.size())]);
       }
@@ -413,9 +413,8 @@ void Experiment::restart_from_checkpoint(
     }
   }
 
-  const auto origin_it = hosts_.find(progress.spec.origin);
-  const bool origin_alive =
-      origin_it != hosts_.end() && origin_it->second.alive;
+  const Host* origin_host = hosts_.find(progress.spec.origin);
+  const bool origin_alive = origin_host != nullptr && origin_host->alive;
   const std::uint32_t restarts = checkpoints_.note_restart(id, sim_.now());
   if (!origin_alive || restarts > config_.checkpoint.max_restarts) {
     metrics_.on_failed(sim_.now());
@@ -438,9 +437,9 @@ void Experiment::start_checkpointing() {
     // Snapshot every placed task whose provider is still alive; the
     // snapshot travels provider → origin as one message.
     for (const auto& [id, placement] : in_flight_) {
-      const auto host_it = hosts_.find(placement.provider);
-      if (host_it == hosts_.end() || !host_it->second.alive) continue;
-      const auto remaining = host_it->second.scheduler->remaining_of(id);
+      const Host* h = hosts_.find(placement.provider);
+      if (h == nullptr || !h->alive) continue;
+      const auto remaining = h->scheduler->remaining_of(id);
       if (!remaining.has_value()) continue;
       ++checkpoint_snapshots_;
       const TaskId task_id = id;
@@ -474,6 +473,14 @@ ExperimentResults Experiment::results() const {
   r.total_messages = bus_->stats().total_sent();
   r.messages_delivered = bus_->stats().total_delivered();
   r.messages_lost = bus_->stats().total_lost();
+  for (std::size_t t = 0; t < static_cast<std::size_t>(net::MsgType::kCount);
+       ++t) {
+    const auto type = static_cast<net::MsgType>(t);
+    if (bus_->stats().sent(type) == 0) continue;
+    r.traffic_by_type.push_back(ExperimentResults::MsgTypeCounts{
+        std::string(net::msg_type_name(type)), bus_->stats().sent(type),
+        bus_->stats().delivered(type), bus_->stats().lost(type)});
+  }
   r.msg_cost_per_node = bus_->stats().per_node_cost(
       std::max<std::size_t>(config_.nodes, 1));
   r.avg_query_delay_s = query_delay_s_.mean();

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/dense_node_map.hpp"
 #include "src/core/protocol.hpp"
 #include "src/gossip/newscast.hpp"
 #include "src/index/inscan.hpp"
@@ -103,6 +104,14 @@ struct ExperimentResults {
   /// destination churned out in flight.
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_lost = 0;
+  /// Per-message-type traffic breakdown (types with zero sends omitted).
+  struct MsgTypeCounts {
+    std::string type;
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t lost = 0;
+  };
+  std::vector<MsgTypeCounts> traffic_by_type;
   double avg_query_delay_s = 0.0;
   double avg_dispatch_attempts = 0.0;
   std::uint64_t events_executed = 0;
@@ -186,7 +195,7 @@ class Experiment {
   std::unique_ptr<DiscoveryProtocol> protocol_;
   workload::NodeGenerator node_gen_;
   workload::TaskGenerator task_gen_;
-  std::unordered_map<NodeId, Host> hosts_;
+  DenseNodeMap<Host> hosts_;  ///< ids are dense; no hashing per message
   struct Placement {
     psm::TaskSpec spec;
     NodeId provider;

@@ -46,30 +46,30 @@ void MaxAggregator::update_local(NodeId id, const ResourceVector& value) {
 }
 
 const ResourceVector& MaxAggregator::estimate(NodeId id) const {
-  const auto it = state_.find(id);
-  SOC_CHECK_MSG(it != state_.end(), "unknown aggregator node");
+  const NodeState* st = state_.find(id);
+  SOC_CHECK_MSG(st != nullptr, "unknown aggregator node");
   // Stale-epoch reads still return the previous epoch's converged value —
   // preferable to resetting on a const read path.
-  return it->second.estimate;
+  return st->estimate;
 }
 
 void MaxAggregator::merge(NodeId at, const ResourceVector& incoming,
                           std::uint64_t epoch) {
-  const auto it = state_.find(at);
-  if (it == state_.end()) return;
-  NodeState& st = it->second;
+  NodeState* found = state_.find(at);
+  if (found == nullptr) return;
+  NodeState& st = *found;
   refresh_epoch(st);
   if (epoch != st.epoch) return;  // cross-epoch messages are dropped
   st.estimate = st.estimate.cw_max(incoming);
 }
 
 void MaxAggregator::exchange_now(NodeId id) {
-  const auto it = state_.find(id);
-  if (it == state_.end() || !sampler_) return;
+  NodeState* found = state_.find(id);
+  if (found == nullptr || !sampler_) return;
   const auto peer = sampler_(id);
   if (!peer.has_value() || *peer == id) return;
 
-  NodeState& st = it->second;
+  NodeState& st = *found;
   refresh_epoch(st);
   ++exchanges_;
 
@@ -78,11 +78,11 @@ void MaxAggregator::exchange_now(NodeId id) {
   const std::uint64_t epoch = st.epoch;
   bus_.send(id, *peer, net::MsgType::kGossip, config_.msg_bytes,
             [this, id, peer = *peer, mine, epoch] {
-              const auto pit = state_.find(peer);
-              if (pit == state_.end()) return;
-              refresh_epoch(pit->second);
-              const ResourceVector theirs = pit->second.estimate;
-              const std::uint64_t peer_epoch = pit->second.epoch;
+              NodeState* peer_state = state_.find(peer);
+              if (peer_state == nullptr) return;
+              refresh_epoch(*peer_state);
+              const ResourceVector theirs = peer_state->estimate;
+              const std::uint64_t peer_epoch = peer_state->epoch;
               merge(peer, mine, epoch);
               bus_.send(peer, id, net::MsgType::kGossip, config_.msg_bytes,
                         [this, id, theirs, peer_epoch] {

@@ -13,8 +13,8 @@
 
 #include <functional>
 #include <optional>
-#include <unordered_map>
 
+#include "src/common/dense_node_map.hpp"
 #include "src/common/resource_vector.hpp"
 #include "src/common/rng.hpp"
 #include "src/net/message_bus.hpp"
@@ -76,7 +76,7 @@ class MaxAggregator {
   AggregationConfig config_;
   Rng rng_;
   PeerSampler sampler_;
-  std::unordered_map<NodeId, NodeState> state_;
+  DenseNodeMap<NodeState> state_;  ///< dense by NodeId
   std::uint64_t exchanges_ = 0;
 };
 

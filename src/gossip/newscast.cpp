@@ -35,9 +35,9 @@ void NewscastSystem::add_node(NodeId id, const std::vector<NodeId>& bootstrap) {
 void NewscastSystem::remove_node(NodeId id) { views_.erase(id); }
 
 const std::vector<ViewEntry>& NewscastSystem::view_of(NodeId id) const {
-  const auto it = views_.find(id);
-  SOC_CHECK_MSG(it != views_.end(), "unknown gossip node");
-  return it->second;
+  const auto* view = views_.find(id);
+  SOC_CHECK_MSG(view != nullptr, "unknown gossip node");
+  return *view;
 }
 
 std::vector<ViewEntry> NewscastSystem::snapshot_with_self(NodeId id) {
@@ -52,9 +52,9 @@ std::vector<ViewEntry> NewscastSystem::snapshot_with_self(NodeId id) {
 
 void NewscastSystem::merge_view(NodeId owner,
                                 const std::vector<ViewEntry>& incoming) {
-  const auto it = views_.find(owner);
-  if (it == views_.end()) return;
-  std::vector<ViewEntry>& view = it->second;
+  auto* view_ptr = views_.find(owner);
+  if (view_ptr == nullptr) return;
+  std::vector<ViewEntry>& view = *view_ptr;
   for (const ViewEntry& e : incoming) {
     if (e.id == owner) continue;
     const auto existing =
@@ -76,9 +76,9 @@ void NewscastSystem::merge_view(NodeId owner,
 }
 
 void NewscastSystem::gossip_now(NodeId id) {
-  const auto it = views_.find(id);
-  if (it == views_.end() || it->second.empty()) return;
-  const std::vector<ViewEntry>& view = it->second;
+  const auto* view_ptr = views_.find(id);
+  if (view_ptr == nullptr || view_ptr->empty()) return;
+  const std::vector<ViewEntry>& view = *view_ptr;
   const NodeId peer = view[rng_.pick_index(view.size())].id;
 
   // Initiator → peer: my view plus my own fresh entry; the peer merges and
@@ -133,11 +133,11 @@ void NewscastSystem::query_hop(std::uint64_t qid, NodeId at,
   const auto pit = pending_.find(qid);
   if (pit == pending_.end()) return;
   Pending& p = pit->second;
-  const auto vit = views_.find(at);
-  if (vit == views_.end()) return;  // hop churned out; timeout closes
+  const auto* view = views_.find(at);
+  if (view == nullptr) return;  // hop churned out; timeout closes
 
   // Scan the local partial view for fresh qualified entries.
-  for (const ViewEntry& e : vit->second) {
+  for (const ViewEntry& e : *view) {
     if ((sim_.now() - e.heard_at) >= config_.entry_ttl) continue;
     if (!e.availability.dominates(p.demand)) continue;
     if (!p.seen.insert(e.id).second) continue;
@@ -154,11 +154,11 @@ void NewscastSystem::query_hop(std::uint64_t qid, NodeId at,
     }
     return;
   }
-  if (vit->second.empty()) {
+  if (view->empty()) {
     finish(qid);
     return;
   }
-  const NodeId next = vit->second[rng_.pick_index(vit->second.size())].id;
+  const NodeId next = (*view)[rng_.pick_index(view->size())].id;
   bus_.send(at, next, net::MsgType::kDutyQuery, config_.query_msg_bytes,
             [this, qid, next, ttl] { query_hop(qid, next, ttl - 1); });
 }

@@ -12,6 +12,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/common/dense_node_map.hpp"
 #include "src/common/resource_vector.hpp"
 #include "src/common/rng.hpp"
 #include "src/common/stats.hpp"
@@ -105,7 +106,7 @@ class NewscastSystem {
   NewscastConfig config_;
   Rng rng_;
   AvailabilityProvider provider_;
-  std::unordered_map<NodeId, std::vector<ViewEntry>> views_;
+  DenseNodeMap<std::vector<ViewEntry>> views_;  ///< dense by NodeId
   std::unordered_map<std::uint64_t, Pending> pending_;
   std::uint64_t next_qid_ = 1;
   Stats stats_;

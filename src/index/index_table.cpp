@@ -56,9 +56,7 @@ void IndexTable::clear_all() {
 std::vector<IndexTable::Entry> IndexTable::live_entries(
     std::size_t dim, can::Direction dir, SimTime now) const {
   std::vector<Entry> out;
-  for (const auto& e : tracks_[track_index(dim, dir)]) {
-    if ((now - e.refreshed_at) < ttl_) out.push_back(e);
-  }
+  for_each_live(dim, dir, now, [&](const Entry& e) { out.push_back(e); });
   return out;
 }
 

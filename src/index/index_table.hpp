@@ -54,6 +54,16 @@ class IndexTable {
                                                 can::Direction dir,
                                                 SimTime now) const;
 
+  /// Visit live entries along a track without allocating — the per-hop
+  /// routing path uses this to treat index entries as long-link fingers.
+  template <typename Fn>
+  void for_each_live(std::size_t dim, can::Direction dir, SimTime now,
+                     Fn&& fn) const {
+    for (const Entry& e : tracks_[track_index(dim, dir)]) {
+      if ((now - e.refreshed_at) < ttl_) fn(e);
+    }
+  }
+
   [[nodiscard]] std::size_t dims() const { return dims_; }
   [[nodiscard]] std::size_t total_entries() const;
 

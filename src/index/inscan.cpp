@@ -32,18 +32,12 @@ void IndexSystem::attach_to_space() {
 }
 
 IndexSystem::NodeState& IndexSystem::state(NodeId id) {
-  auto it = state_.find(id);
-  if (it == state_.end()) {
-    it = state_
-             .emplace(id, NodeState{RecordStore{},
-                                    PiList(config_.pi_capacity, config_.pi_ttl),
-                                    IndexTable(space_.dims(),
-                                               config_.index_samples_per_level,
-                                               config_.index_entry_ttl),
-                                    rng_.fork(id.value)})
-             .first;
-  }
-  return it->second;
+  if (NodeState* st = state_.find(id)) return *st;
+  return state_.emplace(
+      id, NodeState{RecordStore{}, PiList(config_.pi_capacity, config_.pi_ttl),
+                    IndexTable(space_.dims(), config_.index_samples_per_level,
+                               config_.index_entry_ttl),
+                    rng_.fork(id.value)});
 }
 
 RecordStore& IndexSystem::cache(NodeId id) { return state(id).cache; }
@@ -143,37 +137,25 @@ void IndexSystem::route_step(NodeId at, std::size_t ttl,
   // Greedy choice over adjacent neighbors plus (optionally) index fingers,
   // ranked by (containment, box distance, center distance) — the strictly
   // decreasing key avoids cycles and resolves corner/boundary plateaus
-  // (see CanSpace::next_hop).
+  // (see CanSpace::next_hop).  The neighbor scan prunes via the cached
+  // abutting-dimension metadata; a containing neighbor short-circuits the
+  // finger scan (no finger can displace a zone that owns the target).
   NodeId best;
   double best_d = space_.zone_of(at).distance_sq(target);
   double best_c = space_.zone_of(at).center_distance_sq(target);
-  auto consider = [&](NodeId cand) {
-    if (cand == at || !space_.contains(cand)) return;
-    const can::Zone& z = space_.zone_of(cand);
-    if (z.contains(target)) {
-      best = cand;
-      best_d = -1.0;
-      best_c = -1.0;
-      return;
-    }
-    const double d = z.distance_sq(target);
-    const double c = z.center_distance_sq(target);
-    if (d < best_d || (d == best_d && c < best_c) ||
-        (d == best_d && c == best_c && best.valid() && cand < best)) {
-      best = cand;
-      best_d = d;
-      best_c = c;
-    }
-  };
-  for (const NodeId n : space_.neighbors_of(at)) consider(n);
-  if (config_.long_link_routing && state_.contains(at)) {
+  const bool contained =
+      space_.scan_neighbors_toward(at, target, best, best_d, best_c);
+  if (!contained && config_.long_link_routing && state_.contains(at)) {
+    auto consider = [&](NodeId cand) {
+      if (cand == at || !space_.contains(cand)) return;
+      space_.consider_candidate_toward(cand, target, best, best_d, best_c);
+    };
     const IndexTable& tbl = state(at).table;
     for (std::size_t d = 0; d < space_.dims(); ++d) {
       for (const can::Direction dir :
            {can::Direction::kNegative, can::Direction::kPositive}) {
-        for (const auto& e : tbl.live_entries(d, dir, sim_.now())) {
-          consider(e.id);
-        }
+        tbl.for_each_live(d, dir, sim_.now(),
+                          [&](const IndexTable::Entry& e) { consider(e.id); });
       }
     }
   }
@@ -198,12 +180,11 @@ void IndexSystem::publish_now(NodeId id) {
   // invalidation there — otherwise the overwrite below suffices.  (A real
   // provider caches its last duty node's identity, which the owner_of
   // lookup stands in for.)
-  const auto last = last_location_.find(id);
-  if (last != last_location_.end() && space_.size() > 0 &&
-      space_.owner_of(last->second) != space_.owner_of(record->location)) {
+  const can::Point* last = last_location_.find(id);
+  if (last != nullptr && space_.size() > 0 &&
+      space_.owner_of(*last) != space_.owner_of(record->location)) {
     ++activity_.invalidations;
-    route(id, last->second, net::MsgType::kStateUpdate,
-          config_.index_msg_bytes,
+    route(id, *last, net::MsgType::kStateUpdate, config_.index_msg_bytes,
           [this, id](NodeId old_duty) { cache(old_duty).erase(id); });
   }
   last_location_[id] = record->location;
@@ -229,9 +210,9 @@ std::optional<NodeId> IndexSystem::pick_index_node(NodeId id, std::size_t dim,
     return picked;
   }
   if (!space_.contains(id)) return std::nullopt;
-  const auto adjacent = space_.directional_neighbors(id, dim, dir);
-  if (adjacent.empty()) return std::nullopt;
-  return adjacent[st.rng.pick_index(adjacent.size())];
+  space_.directional_neighbors(id, dim, dir, dir_scratch_);
+  if (dir_scratch_.empty()) return std::nullopt;
+  return dir_scratch_[st.rng.pick_index(dir_scratch_.size())];
 }
 
 void IndexSystem::diffuse_now(NodeId id) {
@@ -342,48 +323,51 @@ void IndexSystem::handle_diffuse(NodeId at, NodeId subject, std::size_t dim,
 // Index-table probe walks
 
 void IndexSystem::probe_now(NodeId id, std::size_t dim, can::Direction dir) {
-  probe_step(id, id, dim, dir, 0, 0, {});
+  auto walk = std::make_shared<ProbeWalk>();
+  walk->origin = id;
+  walk->dim = static_cast<std::uint32_t>(dim);
+  walk->dir = dir;
+  probe_step(id, walk);
 }
 
-void IndexSystem::probe_step(NodeId at, NodeId origin, std::size_t dim,
-                             can::Direction dir, std::size_t hops,
-                             std::size_t level,
-                             std::vector<IndexTable::Entry> found) {
+void IndexSystem::probe_step(NodeId at,
+                             const std::shared_ptr<ProbeWalk>& walk) {
   if (!space_.contains(at)) return;  // walk dies with a churned-out hop
 
   auto finish = [&] {
-    if (found.empty()) return;
-    // One report message back to the origin with all collected samples.
-    bus_.send(at, origin, net::MsgType::kIndexProbe, config_.probe_msg_bytes,
-              [this, origin, dim, dir, entries = std::move(found)] {
-                if (!state_.contains(origin)) return;
-                IndexTable& tbl = table(origin);
-                for (const auto& e : entries) {
-                  tbl.store(dim, dir, e.level, e.id, sim_.now());
+    if (walk->found.empty()) return;
+    // One report message back to the origin with all collected samples; the
+    // walk state rides along, so the closure stays slot-sized.
+    bus_.send(at, walk->origin, net::MsgType::kIndexProbe,
+              config_.probe_msg_bytes, [this, walk] {
+                if (!state_.contains(walk->origin)) return;
+                IndexTable& tbl = table(walk->origin);
+                for (const auto& e : walk->found) {
+                  tbl.store(walk->dim, walk->dir, e.level, e.id, sim_.now());
                 }
               });
   };
 
-  if (hops > 0) {
+  if (walk->hops > 0) {
     // Record the node sitting exactly 2^level hops out.
-    if (hops == (std::size_t{1} << level)) {
-      found.push_back(IndexTable::Entry{at, level, sim_.now()});
-      ++level;
+    if (walk->hops == (std::uint32_t{1} << walk->level)) {
+      walk->found.push_back(IndexTable::Entry{at, walk->level, sim_.now()});
+      ++walk->level;
     }
   }
 
-  const auto choices = space_.directional_neighbors(at, dim, dir);
-  if (choices.empty() || hops >= config_.route_ttl) {
+  space_.directional_neighbors(at, walk->dim, walk->dir, dir_scratch_);
+  if (dir_scratch_.empty() || walk->hops >= config_.route_ttl) {
     finish();
     return;
   }
-  NodeState& origin_state = state(origin);
-  const NodeId next = choices[origin_state.rng.pick_index(choices.size())];
+  NodeState& origin_state = state(walk->origin);
+  const NodeId next =
+      dir_scratch_[origin_state.rng.pick_index(dir_scratch_.size())];
   bus_.send(at, next, net::MsgType::kIndexProbe, config_.probe_msg_bytes,
-            [this, next, origin, dim, dir, hops, level,
-             f = std::move(found)]() mutable {
-              probe_step(next, origin, dim, dir, hops + 1, level,
-                         std::move(f));
+            [this, next, walk] {
+              ++walk->hops;
+              probe_step(next, walk);
             });
 }
 

@@ -18,9 +18,9 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 
 #include "src/can/space.hpp"
+#include "src/common/dense_node_map.hpp"
 #include "src/common/inline_fn.hpp"
 #include "src/index/index_table.hpp"
 #include "src/index/pi_list.hpp"
@@ -149,6 +149,19 @@ class IndexSystem {
 
   struct RouteCtx;
 
+  /// One directional probe walk's state, shared across its hop closures
+  /// (allocated once per walk, like RouteCtx) so every per-hop closure is
+  /// {this, walk, next} and stays inside the 48-byte InlineFn buffer — no
+  /// heap fallback per probe hop.
+  struct ProbeWalk {
+    NodeId origin;
+    std::uint32_t dim = 0;
+    can::Direction dir = can::Direction::kNegative;
+    std::uint32_t hops = 0;
+    std::uint32_t level = 0;
+    std::vector<IndexTable::Entry> found;
+  };
+
   NodeState& state(NodeId id);
   void start_periodics(NodeId id);
   void route_step(NodeId at, std::size_t ttl,
@@ -158,9 +171,7 @@ class IndexSystem {
   /// SID spreading: emit L next-dimension messages from `at` (the sender
   /// picks all same-dimension targets itself).
   void spread_dimension(NodeId at, NodeId subject, std::size_t dim);
-  void probe_step(NodeId at, NodeId origin, std::size_t dim,
-                  can::Direction dir, std::size_t hops, std::size_t level,
-                  std::vector<IndexTable::Entry> found);
+  void probe_step(NodeId at, const std::shared_ptr<ProbeWalk>& walk);
 
   sim::Simulator& sim_;
   net::MessageBus& bus_;
@@ -168,10 +179,14 @@ class IndexSystem {
   InscanConfig config_;
   Rng rng_;
   AvailabilityProvider provider_;
-  std::unordered_map<NodeId, NodeState> state_;
+  DenseNodeMap<NodeState> state_;
   /// Where each provider's previous record was filed, so a republish can
   /// invalidate the stale copy when the availability point moved zones.
-  std::unordered_map<NodeId, can::Point> last_location_;
+  DenseNodeMap<can::Point> last_location_;
+  /// Scratch for allocation-free directional-neighbor filtering (the
+  /// simulation is single-threaded; every user copies its pick out before
+  /// the next refill).
+  std::vector<NodeId> dir_scratch_;
   Activity activity_;
 };
 

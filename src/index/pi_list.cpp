@@ -4,52 +4,77 @@
 
 namespace soc::index {
 
+std::vector<PiList::Entry>::iterator PiList::lower_bound(NodeId id) {
+  return std::lower_bound(
+      entries_.begin(), entries_.end(), id,
+      [](const Entry& e, NodeId target) { return e.id < target; });
+}
+
+std::vector<PiList::Entry>::const_iterator PiList::lower_bound(
+    NodeId id) const {
+  return std::lower_bound(
+      entries_.begin(), entries_.end(), id,
+      [](const Entry& e, NodeId target) { return e.id < target; });
+}
+
 void PiList::add(NodeId id, SimTime now) {
   SOC_CHECK(id.valid());
-  const auto it = entries_.find(id);
-  if (it != entries_.end()) {
-    it->second = now;
+  const auto it = lower_bound(id);
+  if (it != entries_.end() && it->id == id) {
+    it->heard_at = now;
     return;
   }
   if (entries_.size() >= capacity_) {
-    auto stalest = entries_.begin();
-    for (auto e = entries_.begin(); e != entries_.end(); ++e) {
-      if (e->second < stalest->second) stalest = e;
+    // Evict the stalest entry; ties break toward the smallest id (the scan
+    // keeps the first minimum in id order).
+    std::size_t stalest = 0;
+    for (std::size_t e = 1; e < entries_.size(); ++e) {
+      if (entries_[e].heard_at < entries_[stalest].heard_at) stalest = e;
     }
-    entries_.erase(stalest);
+    std::size_t insert_at = static_cast<std::size_t>(it - entries_.begin());
+    entries_.erase(entries_.begin() +
+                   static_cast<std::ptrdiff_t>(stalest));
+    if (stalest < insert_at) --insert_at;  // erase shifted the slot left
+    entries_.insert(entries_.begin() + static_cast<std::ptrdiff_t>(insert_at),
+                    Entry{id, now});
+    return;
   }
-  entries_.emplace(id, now);
+  entries_.insert(it, Entry{id, now});
+}
+
+void PiList::erase(NodeId id) {
+  const auto it = lower_bound(id);
+  if (it != entries_.end() && it->id == id) entries_.erase(it);
 }
 
 std::size_t PiList::live_count(SimTime now) const {
   std::size_t n = 0;
-  for (const auto& [_, heard] : entries_) n += (now - heard) < ttl_;
+  for (const Entry& e : entries_) n += (now - e.heard_at) < ttl_;
   return n;
 }
 
 bool PiList::contains_live(NodeId id, SimTime now) const {
-  const auto it = entries_.find(id);
-  return it != entries_.end() && (now - it->second) < ttl_;
+  const auto it = lower_bound(id);
+  return it != entries_.end() && it->id == id && (now - it->heard_at) < ttl_;
 }
 
 std::vector<NodeId> PiList::sample(std::size_t k, SimTime now,
                                    Rng& rng) const {
+  // Live entries come out in ascending id order (the deterministic base
+  // order the old map version sorted into), then shuffle for the subset.
   std::vector<NodeId> live;
   live.reserve(entries_.size());
-  for (const auto& [id, heard] : entries_) {
-    if ((now - heard) < ttl_) live.push_back(id);
+  for (const Entry& e : entries_) {
+    if ((now - e.heard_at) < ttl_) live.push_back(e.id);
   }
-  // Deterministic base order, then shuffle for the random subset.
-  std::sort(live.begin(), live.end());
   rng.shuffle(live.begin(), live.end());
   if (live.size() > k) live.resize(k);
   return live;
 }
 
 void PiList::prune(SimTime now) {
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    it = ((now - it->second) >= ttl_) ? entries_.erase(it) : std::next(it);
-  }
+  std::erase_if(entries_,
+                [&](const Entry& e) { return (now - e.heard_at) >= ttl_; });
 }
 
 }  // namespace soc::index

@@ -3,10 +3,15 @@
 // records, received from the positive direction.  Bounded capacity with
 // stale-first eviction; entries expire on a TTL so departed or drained
 // index nodes fade out.
+//
+// Storage is a flat array kept sorted by id: the capacity is small (tens of
+// entries), so binary search plus contiguous scans beat a hash map on every
+// operation, and iteration order is deterministic by construction (the old
+// unordered_map sorted before sampling; here the live set already comes out
+// id-ordered).  Stale-first eviction ties break toward the smallest id.
 #pragma once
 
 #include <cstddef>
-#include <unordered_map>
 #include <vector>
 
 #include "src/common/rng.hpp"
@@ -26,7 +31,7 @@ class PiList {
   /// existing entry).  Evicts the stalest entry when full.
   void add(NodeId id, SimTime now);
 
-  void erase(NodeId id) { entries_.erase(id); }
+  void erase(NodeId id);
   void clear() { entries_.clear(); }
 
   [[nodiscard]] std::size_t live_count(SimTime now) const;
@@ -39,9 +44,18 @@ class PiList {
   void prune(SimTime now);
 
  private:
+  struct Entry {
+    NodeId id;
+    SimTime heard_at = 0;
+  };
+
+  [[nodiscard]] std::vector<Entry>::iterator lower_bound(NodeId id);
+  [[nodiscard]] std::vector<Entry>::const_iterator lower_bound(
+      NodeId id) const;
+
   std::size_t capacity_;
   SimTime ttl_;
-  std::unordered_map<NodeId, SimTime> entries_;  // id → last heard
+  std::vector<Entry> entries_;  // sorted by id
 };
 
 }  // namespace soc::index

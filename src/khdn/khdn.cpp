@@ -63,10 +63,10 @@ void KhdnSystem::spread(NodeId at, const index::Record& record,
   // One copy to each negative adjacent neighbor per dimension; every copy
   // keeps spreading with one hop fewer (a bounded negative-orthant flood).
   for (std::size_t d = 0; d < space_.dims(); ++d) {
-    const auto negs =
-        space_.directional_neighbors(at, d, can::Direction::kNegative);
-    if (negs.empty()) continue;
-    const NodeId target = negs[rng_.pick_index(negs.size())];
+    space_.directional_neighbors(at, d, can::Direction::kNegative,
+                                 dir_scratch_);
+    if (dir_scratch_.empty()) continue;
+    const NodeId target = dir_scratch_[rng_.pick_index(dir_scratch_.size())];
     bus_.send(at, target, net::MsgType::kKhdnSpread, config_.state_msg_bytes,
               [this, target, record, hops_left] {
                 if (!caches_.contains(target)) return;
@@ -142,10 +142,10 @@ void KhdnSystem::scan_visit(std::uint64_t qid, NodeId at,
     // full K-hop ball).
     if (hops_left > 0 && space_.contains(at)) {
       for (std::size_t d = 0; d < space_.dims(); ++d) {
-        const auto pos =
-            space_.directional_neighbors(at, d, can::Direction::kPositive);
-        if (pos.empty()) continue;
-        const NodeId n = pos[rng_.pick_index(pos.size())];
+        space_.directional_neighbors(at, d, can::Direction::kPositive,
+                                     dir_scratch_);
+        if (dir_scratch_.empty()) continue;
+        const NodeId n = dir_scratch_[rng_.pick_index(dir_scratch_.size())];
         if (!p.visited.insert(n).second) continue;
         ++p.outstanding;
         bus_.send(at, n, net::MsgType::kDutyQuery, config_.query_msg_bytes,

@@ -15,6 +15,7 @@
 
 #include "src/can/router.hpp"
 #include "src/can/space.hpp"
+#include "src/common/dense_node_map.hpp"
 #include "src/common/stats.hpp"
 #include "src/index/record.hpp"
 #include "src/net/message_bus.hpp"
@@ -93,7 +94,9 @@ class KhdnSystem {
   KhdnConfig config_;
   Rng rng_;
   AvailabilityProvider provider_;
-  std::unordered_map<NodeId, index::RecordStore> caches_;
+  DenseNodeMap<index::RecordStore> caches_;  ///< dense by NodeId
+  /// Scratch for allocation-free directional-neighbor filtering.
+  std::vector<NodeId> dir_scratch_;
   std::unordered_map<std::uint64_t, Pending> pending_;
   std::uint64_t next_qid_ = 1;
 };

@@ -104,19 +104,11 @@ void MessageBus::send(NodeId from, NodeId to, MsgType type, std::size_t bytes,
   }
 
   // Park the callback in the slab and schedule a slot-sized closure.
-  std::uint32_t slot;
-  if (free_head_ != kNoFree) {
-    slot = free_head_;
-    free_head_ = pending_[slot].next_free;
-  } else {
-    slot = static_cast<std::uint32_t>(pending_.size());
-    pending_.emplace_back();
-  }
+  const std::uint32_t slot = pending_.alloc();
   Pending& p = pending_[slot];
   p.fn = std::move(on_deliver);
   p.to = to;
   p.type = type;
-  ++in_flight_;
   sim_.schedule_after(delay, [this, slot] { deliver(slot); });
 }
 
@@ -126,9 +118,7 @@ void MessageBus::deliver(std::uint32_t slot) {
   const NodeId to = p.to;
   const MsgType type = p.type;
   // Free the slot before invoking: the callback may send more messages.
-  p.next_free = free_head_;
-  free_head_ = slot;
-  --in_flight_;
+  pending_.release(slot);
   if (is_alive_ && !is_alive_(to)) {
     stats_.on_lost(type);  // message lost to churn
     return;

@@ -11,6 +11,7 @@
 
 #include "src/common/inline_fn.hpp"
 #include "src/common/rng.hpp"
+#include "src/common/slab.hpp"
 #include "src/common/types.hpp"
 #include "src/net/topology.hpp"
 #include "src/sim/simulator.hpp"
@@ -73,10 +74,10 @@ class TrafficStats {
 /// consulted at delivery time so messages to churned-out hosts are lost,
 /// like UDP datagrams to a dead peer.
 ///
-/// In-flight messages live in a slab with an intrusive free list: send()
-/// parks the callback there and schedules a 16-byte closure, so the per
-/// message cost is zero heap allocations (small captures stay inside the
-/// InlineFn buffer; the slab reuses slots as messages arrive).
+/// In-flight messages live in a shared Slab<T> arena: send() parks the
+/// callback there and schedules a 16-byte closure, so the per message cost
+/// is zero heap allocations (small captures stay inside the InlineFn
+/// buffer; the slab reuses slots as messages arrive).
 class MessageBus {
  public:
   MessageBus(sim::Simulator& sim, const Topology& topo);
@@ -96,7 +97,7 @@ class MessageBus {
   [[nodiscard]] const TrafficStats& stats() const { return stats_; }
 
   /// Messages sent but not yet arrived (slab occupancy, for tests).
-  [[nodiscard]] std::size_t in_flight() const { return in_flight_; }
+  [[nodiscard]] std::size_t in_flight() const { return pending_.live(); }
 
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
 
@@ -105,9 +106,7 @@ class MessageBus {
     DeliverFn fn;
     NodeId to;
     MsgType type = MsgType::kCount;
-    std::uint32_t next_free = kNoFree;
   };
-  static constexpr std::uint32_t kNoFree = 0xffffffffu;
 
   void deliver(std::uint32_t slot);
 
@@ -116,9 +115,7 @@ class MessageBus {
   Rng jitter_rng_;
   TrafficStats stats_;
   std::function<bool(NodeId)> is_alive_;
-  std::vector<Pending> pending_;
-  std::uint32_t free_head_ = kNoFree;
-  std::size_t in_flight_ = 0;
+  Slab<Pending> pending_;
 };
 
 }  // namespace soc::net

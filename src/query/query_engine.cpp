@@ -99,10 +99,10 @@ void QueryEngine::on_duty_node(std::uint64_t qid, NodeId duty) {
   auto& space = index_.space();
   std::vector<NodeId> agents;
   for (std::size_t d = 0; d < space.dims(); ++d) {
-    const auto pos =
-        space.directional_neighbors(duty, d, can::Direction::kPositive);
-    if (pos.empty()) continue;
-    const NodeId pick = pos[rng_.pick_index(pos.size())];
+    space.directional_neighbors(duty, d, can::Direction::kPositive,
+                                dir_scratch_);
+    if (dir_scratch_.empty()) continue;
+    const NodeId pick = dir_scratch_[rng_.pick_index(dir_scratch_.size())];
     if (std::find(agents.begin(), agents.end(), pick) == agents.end()) {
       agents.push_back(pick);
     }

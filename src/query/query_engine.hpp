@@ -104,6 +104,8 @@ class QueryEngine {
   void flood_visit(std::uint64_t qid, NodeId at, const can::Point& corner);
 
   index::IndexSystem& index_;
+  /// Scratch for allocation-free directional-neighbor filtering.
+  std::vector<NodeId> dir_scratch_;
   QueryConfig config_;
   QueryStats stats_;
   std::unordered_map<std::uint64_t, Pending> pending_;

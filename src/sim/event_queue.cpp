@@ -10,24 +10,16 @@ constexpr std::size_t kArity = 4;
 }
 
 std::uint32_t EventQueue::alloc_slot() {
-  if (free_head_ != EventHandle::kInvalidSlot) {
-    const std::uint32_t idx = free_head_;
-    free_head_ = slots_[idx].heap_pos;
-    ++slots_[idx].gen;  // even (free) -> odd (live)
-    return idx;
-  }
-  SOC_CHECK_MSG(slots_.size() < EventHandle::kInvalidSlot, "slab full");
-  slots_.emplace_back();
-  slots_.back().gen = 1;
-  return static_cast<std::uint32_t>(slots_.size() - 1);
+  const std::uint32_t idx = slots_.alloc();
+  ++slots_[idx].gen;  // even (free / fresh) -> odd (live)
+  return idx;
 }
 
 void EventQueue::free_slot(std::uint32_t idx) {
   Slot& s = slots_[idx];
   s.fn.reset();  // release captures immediately, not at slot reuse
   ++s.gen;       // odd (live) -> even (free); stale handles now mismatch
-  s.heap_pos = free_head_;
-  free_head_ = idx;
+  slots_.release(idx);
 }
 
 EventHandle EventQueue::push(SimTime at, EventFn fn) {
@@ -40,7 +32,7 @@ EventHandle EventQueue::push(SimTime at, EventFn fn) {
 }
 
 bool EventQueue::cancel(EventHandle h) {
-  if (!h.valid() || h.slot >= slots_.size()) return false;
+  if (!h.valid() || h.slot >= slots_.slots()) return false;
   Slot& s = slots_[h.slot];
   if (s.gen != h.gen) return false;  // executed, cancelled, or recycled
   heap_remove(s.heap_pos);

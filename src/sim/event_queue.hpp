@@ -4,14 +4,14 @@
 // monotone sequence number breaks ties), so a simulation run is a pure
 // function of its seed — the property all reproduction experiments rely on.
 //
-// Layout: an indexed 4-ary min-heap over a slab arena with an intrusive
-// free list.  Heap entries carry the full sort key (time, seq) so sifting
-// touches only the contiguous heap array; the slab slot holds the callback
-// inline via InlineFn plus a generation counter.  Scheduling an event costs
-// zero heap allocations for small captures, and cancel() is an O(log n)
-// in-place heap removal — cancelled events free their slot and their
-// captures immediately instead of lingering as tombstones.  Handles are
-// generation-checked, so a stale handle to a recycled slot is rejected.
+// Layout: an indexed 4-ary min-heap over a shared Slab<T> arena.  Heap
+// entries carry the full sort key (time, seq) so sifting touches only the
+// contiguous heap array; the slab slot holds the callback inline via
+// InlineFn plus a generation counter.  Scheduling an event costs zero heap
+// allocations for small captures, and cancel() is an O(log n) in-place heap
+// removal — cancelled events free their slot and their captures immediately
+// instead of lingering as tombstones.  Handles are generation-checked, so a
+// stale handle to a recycled slot is rejected.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +19,7 @@
 
 #include "src/common/assert.hpp"
 #include "src/common/inline_fn.hpp"
+#include "src/common/slab.hpp"
 #include "src/common/types.hpp"
 
 namespace soc::sim {
@@ -63,7 +64,7 @@ class EventQueue {
   /// Slab high-water mark: slots ever allocated (live + free-listed).
   /// Bounded by the *peak* number of simultaneously pending events, not the
   /// total scheduled — the stress tests assert on this.
-  [[nodiscard]] std::size_t slab_slots() const { return slots_.size(); }
+  [[nodiscard]] std::size_t slab_slots() const { return slots_.slots(); }
 
  private:
   /// 24-byte heap entry: the full sort key plus the owning slot, so sift
@@ -81,7 +82,7 @@ class EventQueue {
 
   struct Slot {
     std::uint32_t gen = 0;       ///< odd = live, even = free
-    std::uint32_t heap_pos = 0;  ///< heap index when live; free-list next when free
+    std::uint32_t heap_pos = 0;  ///< heap index while live
     EventFn fn;
   };
 
@@ -92,8 +93,7 @@ class EventQueue {
   void sift_down(std::size_t pos, Entry e);
 
   std::vector<Entry> heap_;  ///< 4-ary min-heap
-  std::vector<Slot> slots_;  ///< slab arena
-  std::uint32_t free_head_ = EventHandle::kInvalidSlot;
+  Slab<Slot> slots_;         ///< shared slab arena (free list lives there)
   std::uint64_t next_seq_ = 0;
 };
 

@@ -1,0 +1,149 @@
+// Golden-trajectory regression for storage/routing refactors.
+//
+// The dense-node-storage rewrite (slab pools, DenseNodeMap, cached CAN
+// adjacency with pruned greedy scans) must be *trajectory-preserving*: a
+// same-seed run takes bit-identical routes and produces bit-identical
+// figure series.  These fingerprints were captured from the PR-1
+// implementation (unordered_map storage, uncached adjacency) on the
+// reference toolchain; any refactor that changes a route choice, an RNG
+// draw order, or a metric bit changes a fingerprint and fails here.
+//
+// If a future PR changes behavior *intentionally* (new protocol logic, new
+// tie-break), regenerate the constants: run the suite, and copy the actual
+// fingerprint each failing EXPECT_EQ prints (the "Which is:" value and the
+// hex stream message) into the kGolden* constants below — regenerating
+// bench/BENCH_baseline.json in the same PR.
+//
+// The fingerprints hash raw double bits, so they assume the reference
+// toolchain (same libm/compiler/flags).  On a different toolchain a
+// last-ulp libm difference can legitimately shift one churn delay; if all
+// three tests fail on an otherwise-green tree after a toolchain change,
+// regenerate rather than debug.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+
+#include "src/can/space.hpp"
+#include "src/core/experiment.hpp"
+
+namespace soc {
+namespace {
+
+class Fnv64 {
+ public:
+  void add(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xffu;
+      h_ *= 0x100000001b3ull;
+    }
+  }
+  void add_double(double d) { add(std::bit_cast<std::uint64_t>(d)); }
+  [[nodiscard]] std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+// Routes, next-hop choices and directional neighbor sets over a churned
+// 2-d space.  Pins the greedy tie-break chain (containment, box distance,
+// center distance, id) and the adjacency metadata.
+std::uint64_t route_fingerprint() {
+  can::CanSpace space(2, Rng(42));
+  Rng rng(43);
+  std::vector<NodeId> live;
+  std::uint32_t next = 0;
+  for (int i = 0; i < 48; ++i) {
+    space.join(NodeId(next));
+    live.push_back(NodeId(next++));
+  }
+  Fnv64 h;
+  for (int step = 0; step < 300; ++step) {
+    if (live.size() < 8 || rng.chance(0.55)) {
+      space.join(NodeId(next));
+      live.push_back(NodeId(next++));
+    } else {
+      const std::size_t idx = rng.pick_index(live.size());
+      space.leave(live[idx]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    // Every 7th step, fingerprint a route and the directional partition of
+    // a sampled member.
+    if (step % 7 != 0) continue;
+    const can::Point target{rng.uniform(), rng.uniform()};
+    const NodeId start = space.random_member(rng);
+    h.add(start.value);
+    for (const NodeId hop : space.route(start, target)) h.add(hop.value);
+    const NodeId sample = space.random_member(rng);
+    for (std::size_t d = 0; d < 2; ++d) {
+      for (const can::Direction dir :
+           {can::Direction::kNegative, can::Direction::kPositive}) {
+        for (const NodeId n : space.directional_neighbors(sample, d, dir)) {
+          h.add(n.value);
+        }
+      }
+    }
+  }
+  return h.value();
+}
+
+core::ExperimentConfig small_config(core::ProtocolKind protocol) {
+  core::ExperimentConfig c;
+  c.protocol = protocol;
+  c.nodes = 64;
+  c.duration = seconds(3600);
+  c.sample_step = seconds(600);
+  c.seed = 7;
+  c.churn_dynamic_degree = 0.1;  // exercise leave/rehome/timeout paths
+  return c;
+}
+
+std::uint64_t experiment_fingerprint(core::ProtocolKind protocol) {
+  const core::ExperimentResults r = core::run_experiment(small_config(protocol));
+  Fnv64 h;
+  h.add(r.generated);
+  h.add(r.finished);
+  h.add(r.failed);
+  h.add(r.total_messages);
+  h.add(r.messages_delivered);
+  h.add(r.messages_lost);
+  h.add(r.events_executed);
+  h.add_double(r.t_ratio);
+  h.add_double(r.f_ratio);
+  h.add_double(r.fairness);
+  h.add_double(r.avg_query_delay_s);
+  for (const auto& s : r.series) {
+    h.add(s.generated);
+    h.add(s.finished);
+    h.add(s.failed);
+    h.add_double(s.t_ratio);
+    h.add_double(s.f_ratio);
+    h.add_double(s.fairness);
+  }
+  return h.value();
+}
+
+// Captured from the PR-1 implementation (pre-dense-storage).
+constexpr std::uint64_t kGoldenRoutes = 9398799750731397732ull;
+constexpr std::uint64_t kGoldenHidCan = 11745447543902692920ull;
+constexpr std::uint64_t kGoldenNewscast = 10852525670100304651ull;
+
+TEST(GoldenTrajectory, CanRoutesBitIdenticalToPr1) {
+  EXPECT_EQ(route_fingerprint(), kGoldenRoutes)
+      << std::hex << route_fingerprint();
+}
+
+TEST(GoldenTrajectory, HidCanSeriesBitIdenticalToPr1) {
+  EXPECT_EQ(experiment_fingerprint(core::ProtocolKind::kHidCan), kGoldenHidCan)
+      << std::hex << experiment_fingerprint(core::ProtocolKind::kHidCan);
+}
+
+TEST(GoldenTrajectory, NewscastSeriesBitIdenticalToPr1) {
+  EXPECT_EQ(experiment_fingerprint(core::ProtocolKind::kNewscast),
+            kGoldenNewscast)
+      << std::hex
+      << experiment_fingerprint(core::ProtocolKind::kNewscast);
+}
+
+}  // namespace
+}  // namespace soc
