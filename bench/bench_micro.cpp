@@ -213,6 +213,45 @@ void BM_CanDirectionalScan(benchmark::State& state) {
 }
 BENCHMARK(BM_CanDirectionalScan)->Arg(1024)->Arg(4096);
 
+// Record-cache mix: the duty-node inner loop of every query harvest — a
+// TTL-churn put/erase pair against a full qualified() dominance scan per
+// iteration (Alg. 5 line 1).  The store size is the steady-state record
+// count a duty node carries at paper scale.
+void BM_RecordStoreQualifiedMix(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(23);
+  const ResourceVector cmax = ResourceVector::filled(5, 10.0);
+  std::vector<index::Record> records;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    index::Record r;
+    r.provider = NodeId(i);
+    ResourceVector a(5);
+    for (std::size_t d = 0; d < 5; ++d) a[d] = rng.uniform(0, 10);
+    r.availability = a;
+    r.location = can::Point::normalized(a, cmax);
+    r.published_at = 0;
+    r.expires_at = kSimTimeNever;
+    records.push_back(r);
+  }
+  index::RecordStore store;
+  for (const auto& r : records) store.put(r);
+  const ResourceVector demand = ResourceVector::filled(5, 4.0);
+  std::vector<index::Record> scratch;
+  std::size_t i = 0;
+  std::uint64_t found = 0;
+  for (auto _ : state) {
+    store.erase(NodeId(static_cast<std::uint32_t>(i % n)));
+    store.put(records[i % n]);
+    store.qualified_into(demand, 0, scratch);
+    found += scratch.size();
+    ++i;
+  }
+  benchmark::DoNotOptimize(found);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RecordStoreQualifiedMix)->Arg(256)->Arg(2048);
+
 void BM_PsmAdmitFinish(benchmark::State& state) {
   for (auto _ : state) {
     sim::Simulator sim(7);

@@ -107,7 +107,7 @@ std::size_t PidCanProtocol::discoverable(const ResourceVector& demand,
   std::size_t n = 0;
   auto& self = const_cast<PidCanProtocol&>(*this);
   for (const NodeId id : space_.member_ids()) {
-    n += self.index_.cache(id).qualified(demand, now).size();
+    n += self.index_.cache(id).qualified_count(demand, now);
   }
   return n;
 }

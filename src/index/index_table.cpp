@@ -1,6 +1,7 @@
 #include "src/index/index_table.hpp"
 
 #include <algorithm>
+#include <bit>
 
 namespace soc::index {
 
@@ -20,6 +21,7 @@ std::size_t IndexTable::track_index(std::size_t dim,
 
 void IndexTable::store(std::size_t dim, can::Direction dir, std::size_t level,
                        NodeId id, SimTime now) {
+  SOC_CHECK(level < 64);  // pick() tracks the level set in a 64-bit mask
   auto& track = tracks_[track_index(dim, dir)];
   // Refresh an existing identical entry in place.
   for (auto& e : track) {
@@ -63,32 +65,57 @@ std::vector<IndexTable::Entry> IndexTable::live_entries(
 std::optional<NodeId> IndexTable::pick(std::size_t dim, can::Direction dir,
                                        IndexSelectPolicy policy, SimTime now,
                                        Rng& rng) const {
-  const auto live = live_entries(dim, dir, now);
-  if (live.empty()) return std::nullopt;
+  // Allocation-free: one summary scan over the (tiny) track, then at most
+  // two more indexed scans.  Draw order and distribution are identical to
+  // the old collect-into-vectors version — live entries visit in track
+  // order, the level set enumerates ascending (the sorted-unique order),
+  // and each policy makes the same pick_index calls — so selection
+  // trajectories are unchanged.
+  std::size_t live_count = 0;
+  std::uint64_t level_mask = 0;
+  NodeId nearest;
+  std::size_t nearest_level = ~std::size_t{0};
+  for_each_live(dim, dir, now, [&](const Entry& e) {
+    ++live_count;
+    level_mask |= std::uint64_t{1} << e.level;
+    if (e.level < nearest_level) {  // strict: keep the first minimum
+      nearest_level = e.level;
+      nearest = e.id;
+    }
+  });
+  if (live_count == 0) return std::nullopt;
+
+  // Return the k-th live entry (track order) matching `filter`.
+  const auto nth_live = [&](std::size_t k, auto&& filter) {
+    NodeId out;
+    for_each_live(dim, dir, now, [&](const Entry& e) {
+      if (out.valid() || !filter(e)) return;
+      if (k-- == 0) out = e.id;
+    });
+    SOC_CHECK(out.valid());
+    return out;
+  };
 
   switch (policy) {
     case IndexSelectPolicy::kRandomPowerLevel: {
       // Random level among those present, then a random sample within it —
       // this is the 2^k randomized selection of the paper.
-      std::vector<std::size_t> levels;
-      for (const auto& e : live) levels.push_back(e.level);
-      std::sort(levels.begin(), levels.end());
-      levels.erase(std::unique(levels.begin(), levels.end()), levels.end());
-      const std::size_t lvl = levels[rng.pick_index(levels.size())];
-      std::vector<NodeId> at_level;
-      for (const auto& e : live) {
-        if (e.level == lvl) at_level.push_back(e.id);
-      }
-      return at_level[rng.pick_index(at_level.size())];
+      std::size_t nth = rng.pick_index(
+          static_cast<std::size_t>(std::popcount(level_mask)));
+      std::uint64_t mask = level_mask;
+      while (nth-- > 0) mask &= mask - 1;  // drop the lowest set bits
+      const auto lvl = static_cast<std::size_t>(std::countr_zero(mask));
+      std::size_t at_level = 0;
+      for_each_live(dim, dir, now,
+                    [&](const Entry& e) { at_level += e.level == lvl; });
+      return nth_live(rng.pick_index(at_level),
+                      [&](const Entry& e) { return e.level == lvl; });
     }
-    case IndexSelectPolicy::kNearestOnly: {
-      const auto it = std::min_element(
-          live.begin(), live.end(),
-          [](const Entry& a, const Entry& b) { return a.level < b.level; });
-      return it->id;
-    }
+    case IndexSelectPolicy::kNearestOnly:
+      return nearest;
     case IndexSelectPolicy::kUniformEntry:
-      return live[rng.pick_index(live.size())].id;
+      return nth_live(rng.pick_index(live_count),
+                      [](const Entry&) { return true; });
   }
   return std::nullopt;
 }

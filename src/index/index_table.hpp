@@ -43,7 +43,10 @@ class IndexTable {
   void clear_all();
 
   /// A NINode along (dim, dir) chosen per the policy; nullopt when the
-  /// track is empty (e.g. at the space edge).
+  /// track is empty (e.g. at the space edge).  Allocation-free: selection
+  /// runs as indexed scans over the track plus a 64-bit level mask (hence
+  /// the `level < 64` bound enforced by store()), with the same RNG draw
+  /// order as the original collect-into-vectors implementation.
   [[nodiscard]] std::optional<NodeId> pick(std::size_t dim,
                                            can::Direction dir,
                                            IndexSelectPolicy policy,

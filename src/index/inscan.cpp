@@ -333,6 +333,13 @@ void IndexSystem::probe_now(NodeId id, std::size_t dim, can::Direction dir) {
 void IndexSystem::probe_step(NodeId at,
                              const std::shared_ptr<ProbeWalk>& walk) {
   if (!space_.contains(at)) return;  // walk dies with a churned-out hop
+  // Kill walks whose origin departed: the hop below draws from the origin's
+  // RNG via state(), which would otherwise re-materialize a ghost NodeState
+  // for the departed node (and the final report would then pass the
+  // contains() guard and store into the ghost's table).
+  if (!state_.contains(walk->origin) || !space_.contains(walk->origin)) {
+    return;
+  }
 
   auto finish = [&] {
     if (walk->found.empty()) return;

@@ -1,42 +1,80 @@
 #include "src/index/record.hpp"
 
+#include <algorithm>
+
 namespace soc::index {
+
+std::vector<Record>::iterator RecordStore::lower_bound(NodeId provider) {
+  return std::lower_bound(
+      records_.begin(), records_.end(), provider,
+      [](const Record& r, NodeId target) { return r.provider < target; });
+}
+
+std::vector<Record>::const_iterator RecordStore::lower_bound(
+    NodeId provider) const {
+  return std::lower_bound(
+      records_.begin(), records_.end(), provider,
+      [](const Record& r, NodeId target) { return r.provider < target; });
+}
 
 void RecordStore::put(const Record& r) {
   SOC_CHECK(r.provider.valid());
-  records_[r.provider] = r;
+  const auto it = lower_bound(r.provider);
+  if (it != records_.end() && it->provider == r.provider) {
+    *it = r;
+    return;
+  }
+  records_.insert(it, r);
 }
 
 bool RecordStore::erase(NodeId provider) {
-  return records_.erase(provider) > 0;
+  const auto it = lower_bound(provider);
+  if (it == records_.end() || it->provider != provider) return false;
+  records_.erase(it);
+  return true;
 }
 
 std::size_t RecordStore::live_count(SimTime now) const {
   std::size_t n = 0;
-  for (const auto& [_, r] : records_) n += !r.expired(now);
+  for (const Record& r : records_) n += !r.expired(now);
   return n;
 }
 
 bool RecordStore::has_live_records(SimTime now) const {
-  for (const auto& [_, r] : records_) {
+  for (const Record& r : records_) {
     if (!r.expired(now)) return true;
   }
   return false;
 }
 
+void RecordStore::qualified_into(const ResourceVector& demand, SimTime now,
+                                 std::vector<Record>& out) const {
+  out.clear();
+  for (const Record& r : records_) {
+    if (!r.expired(now) && r.qualifies(demand)) out.push_back(r);
+  }
+}
+
+std::size_t RecordStore::qualified_count(const ResourceVector& demand,
+                                         SimTime now) const {
+  std::size_t n = 0;
+  for (const Record& r : records_) {
+    n += !r.expired(now) && r.qualifies(demand);
+  }
+  return n;
+}
+
 std::vector<Record> RecordStore::qualified(const ResourceVector& demand,
                                            SimTime now) const {
   std::vector<Record> out;
-  for (const auto& [_, r] : records_) {
-    if (!r.expired(now) && r.qualifies(demand)) out.push_back(r);
-  }
+  qualified_into(demand, now, out);
   return out;
 }
 
 std::vector<Record> RecordStore::all_live(SimTime now) const {
   std::vector<Record> out;
   out.reserve(records_.size());
-  for (const auto& [_, r] : records_) {
+  for (const Record& r : records_) {
     if (!r.expired(now)) out.push_back(r);
   }
   return out;
@@ -45,33 +83,23 @@ std::vector<Record> RecordStore::all_live(SimTime now) const {
 std::vector<Record> RecordStore::extract_in_zone(const can::Zone& zone,
                                                  SimTime now) {
   std::vector<Record> out;
-  for (auto it = records_.begin(); it != records_.end();) {
-    if (it->second.expired(now)) {
-      it = records_.erase(it);
-      continue;
-    }
-    if (zone.contains(it->second.location)) {
-      out.push_back(it->second);
-      it = records_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  std::erase_if(records_, [&](const Record& r) {
+    if (r.expired(now)) return true;
+    if (!zone.contains(r.location)) return false;
+    out.push_back(r);
+    return true;
+  });
   return out;
 }
 
 std::vector<Record> RecordStore::extract_all() {
   std::vector<Record> out;
-  out.reserve(records_.size());
-  for (const auto& [_, r] : records_) out.push_back(r);
-  records_.clear();
+  out.swap(records_);
   return out;
 }
 
 void RecordStore::prune(SimTime now) {
-  for (auto it = records_.begin(); it != records_.end();) {
-    it = it->second.expired(now) ? records_.erase(it) : std::next(it);
-  }
+  std::erase_if(records_, [&](const Record& r) { return r.expired(now); });
 }
 
 }  // namespace soc::index

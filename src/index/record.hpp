@@ -3,7 +3,6 @@
 #pragma once
 
 #include <cstddef>
-#include <unordered_map>
 #include <vector>
 
 #include "src/can/geometry.hpp"
@@ -31,6 +30,13 @@ struct Record {
 
 /// The cache γ a duty node keeps: the newest record per provider, with TTL
 /// expiry (the paper uses a 600 s record age and 400 s update cycle).
+///
+/// Storage is a flat array kept sorted by provider id (like PiList):
+/// binary-search upsert/erase, contiguous linear scans for the dominance
+/// filter, and — the property the query pipeline relies on — every result
+/// list (`qualified`, `all_live`, the extract_* moves) comes out in
+/// ascending provider order by construction, so candidate order is
+/// deterministic instead of hash-iteration order.
 class RecordStore {
  public:
   /// Insert or refresh the provider's record.
@@ -43,11 +49,22 @@ class RecordStore {
   [[nodiscard]] std::size_t live_count(SimTime now) const;
   [[nodiscard]] bool has_live_records(SimTime now) const;
 
-  /// All non-expired records that componentwise dominate the demand.
+  /// All non-expired records that componentwise dominate the demand, in
+  /// ascending provider order.
   [[nodiscard]] std::vector<Record> qualified(const ResourceVector& demand,
                                               SimTime now) const;
 
-  /// All non-expired records (for re-homing and the full range query).
+  /// Allocation-free variant: fill a caller scratch buffer (cleared first)
+  /// — the per-harvest path of the query engines reuses one buffer.
+  void qualified_into(const ResourceVector& demand, SimTime now,
+                      std::vector<Record>& out) const;
+
+  /// Count of non-expired dominating records, without copying any.
+  [[nodiscard]] std::size_t qualified_count(const ResourceVector& demand,
+                                            SimTime now) const;
+
+  /// All non-expired records (for re-homing and the full range query), in
+  /// ascending provider order.
   [[nodiscard]] std::vector<Record> all_live(SimTime now) const;
 
   /// Extract (remove and return) the live records lying inside `zone` —
@@ -63,7 +80,11 @@ class RecordStore {
   [[nodiscard]] std::size_t size() const { return records_.size(); }
 
  private:
-  std::unordered_map<NodeId, Record> records_;
+  [[nodiscard]] std::vector<Record>::iterator lower_bound(NodeId provider);
+  [[nodiscard]] std::vector<Record>::const_iterator lower_bound(
+      NodeId provider) const;
+
+  std::vector<Record> records_;  // sorted by provider id
 };
 
 }  // namespace soc::index

@@ -118,9 +118,10 @@ void KhdnSystem::scan_visit(std::uint64_t qid, NodeId at,
   --p.outstanding;
 
   if (caches_.contains(at)) {
-    // Harvest local qualified records; one notice message back covers the
-    // traffic of returning them.
-    const auto qualified = cache(at).qualified(p.demand, sim_.now());
+    // Harvest local qualified records (reused scratch, ascending provider
+    // order); one notice message back covers the traffic of returning them.
+    std::vector<index::Record>& qualified = record_scratch_;
+    cache(at).qualified_into(p.demand, sim_.now(), qualified);
     std::size_t fresh = 0;
     for (const auto& r : qualified) {
       if (p.results.size() >= p.want) break;

@@ -97,6 +97,8 @@ class KhdnSystem {
   DenseNodeMap<index::RecordStore> caches_;  ///< dense by NodeId
   /// Scratch for allocation-free directional-neighbor filtering.
   std::vector<NodeId> dir_scratch_;
+  /// Scratch for allocation-free qualified-record harvests.
+  std::vector<index::Record> record_scratch_;
   std::unordered_map<std::uint64_t, Pending> pending_;
   std::uint64_t next_qid_ = 1;
 };

@@ -171,9 +171,11 @@ std::size_t QueryEngine::harvest_and_notify(std::uint64_t qid, NodeId at,
   if (it == pending_.end() || !index_.tracks(at)) return 0;
   Pending& p = it->second;
 
-  // Alg. 5 line 1: search γ for records dominating v.
-  auto qualified =
-      index_.cache(at).qualified(p.demand, index_.simulator().now());
+  // Alg. 5 line 1: search γ for records dominating v (into the reused
+  // harvest scratch; results come out in ascending provider order).
+  std::vector<index::Record>& qualified = record_scratch_;
+  index_.cache(at).qualified_into(p.demand, index_.simulator().now(),
+                                  qualified);
   // Skip providers this query already collected (duplicate notices).
   std::erase_if(qualified, [&](const index::Record& r) {
     return p.seen_providers.contains(r.provider);
@@ -270,8 +272,9 @@ void QueryEngine::flood_visit(std::uint64_t qid, NodeId at,
   if (index_.tracks(at) && space.contains(at)) {
     // Collect local qualified records directly (the flood already costs
     // O(N) messages; results ride back on one notice per responsible node).
-    const auto qualified =
-        index_.cache(at).qualified(p.demand, index_.simulator().now());
+    std::vector<index::Record>& qualified = record_scratch_;
+    index_.cache(at).qualified_into(p.demand, index_.simulator().now(),
+                                    qualified);
     for (const auto& r : qualified) {
       if (p.seen_providers.insert(r.provider).second) {
         p.results.push_back(Candidate{r.provider, r.availability});

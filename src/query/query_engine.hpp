@@ -106,6 +106,9 @@ class QueryEngine {
   index::IndexSystem& index_;
   /// Scratch for allocation-free directional-neighbor filtering.
   std::vector<NodeId> dir_scratch_;
+  /// Scratch for allocation-free qualified-record harvests (single-threaded;
+  /// every harvest finishes with the records copied out before the next).
+  std::vector<index::Record> record_scratch_;
   QueryConfig config_;
   QueryStats stats_;
   std::unordered_map<std::uint64_t, Pending> pending_;

@@ -1,28 +1,38 @@
 // Golden-trajectory regression for storage/routing refactors.
 //
-// The dense-node-storage rewrite (slab pools, DenseNodeMap, cached CAN
-// adjacency with pruned greedy scans) must be *trajectory-preserving*: a
-// same-seed run takes bit-identical routes and produces bit-identical
-// figure series.  These fingerprints were captured from the PR-1
-// implementation (unordered_map storage, uncached adjacency) on the
-// reference toolchain; any refactor that changes a route choice, an RNG
-// draw order, or a metric bit changes a fingerprint and fails here.
+// Perf refactors in this repo must be *trajectory-preserving*: a same-seed
+// run takes bit-identical routes and produces bit-identical figure series.
+// The fingerprints live in tests/golden_fingerprints.txt (source tree, path
+// baked in via SOC_GOLDEN_FILE); any refactor that changes a route choice,
+// an RNG draw order, or a metric bit changes a fingerprint and fails here.
 //
-// If a future PR changes behavior *intentionally* (new protocol logic, new
-// tie-break), regenerate the constants: run the suite, and copy the actual
-// fingerprint each failing EXPECT_EQ prints (the "Which is:" value and the
-// hex stream message) into the kGolden* constants below — regenerating
-// bench/BENCH_baseline.json in the same PR.
+// When a PR changes behavior *intentionally* (new protocol logic, new
+// tie-break, a new candidate order), the re-baseline is mechanical, not
+// hand-edited:
+//
+//   cmake --build build --target regen_goldens
+//
+// which runs `golden_trajectory_test --regen` (rewrites the fingerprint
+// file, printing old -> new per key) and regenerates
+// bench/BENCH_baseline.json in the same step — both anchors always move in
+// the same commit.  Run the suite twice afterwards to confirm the new
+// trajectory is stable.  The protocol is documented in README.
 //
 // The fingerprints hash raw double bits, so they assume the reference
 // toolchain (same libm/compiler/flags).  On a different toolchain a
 // last-ulp libm difference can legitimately shift one churn delay; if all
-// three tests fail on an otherwise-green tree after a toolchain change,
+// tests fail on an otherwise-green tree after a toolchain change,
 // regenerate rather than debug.
 #include <gtest/gtest.h>
 
 #include <bit>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "src/can/space.hpp"
 #include "src/core/experiment.hpp"
@@ -123,27 +133,123 @@ std::uint64_t experiment_fingerprint(core::ProtocolKind protocol) {
   return h.value();
 }
 
-// Captured from the PR-1 implementation (pre-dense-storage).
-constexpr std::uint64_t kGoldenRoutes = 9398799750731397732ull;
-constexpr std::uint64_t kGoldenHidCan = 11745447543902692920ull;
-constexpr std::uint64_t kGoldenNewscast = 10852525670100304651ull;
+/// The fingerprint registry: the single list --regen and the tests share,
+/// so a new golden can never be asserted without being regenerable.
+struct Golden {
+  const char* key;
+  std::uint64_t (*compute)();
+};
 
-TEST(GoldenTrajectory, CanRoutesBitIdenticalToPr1) {
-  EXPECT_EQ(route_fingerprint(), kGoldenRoutes)
-      << std::hex << route_fingerprint();
+constexpr Golden kGoldens[] = {
+    {"routes", &route_fingerprint},
+    {"hid_can", [] { return experiment_fingerprint(core::ProtocolKind::kHidCan); }},
+    {"newscast",
+     [] { return experiment_fingerprint(core::ProtocolKind::kNewscast); }},
+    {"khdn_can",
+     [] { return experiment_fingerprint(core::ProtocolKind::kKhdnCan); }},
+};
+
+/// Parse "key value" lines ('#' starts a comment).  Returns false when the
+/// file is unreadable.
+bool load_goldens(const std::string& path,
+                  std::vector<std::pair<std::string, std::uint64_t>>& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream row(line);
+    std::string key;
+    std::uint64_t value = 0;
+    if (row >> key >> value) out.emplace_back(std::move(key), value);
+  }
+  return true;
 }
 
-TEST(GoldenTrajectory, HidCanSeriesBitIdenticalToPr1) {
-  EXPECT_EQ(experiment_fingerprint(core::ProtocolKind::kHidCan), kGoldenHidCan)
-      << std::hex << experiment_fingerprint(core::ProtocolKind::kHidCan);
+std::uint64_t expected(const char* key) {
+  std::vector<std::pair<std::string, std::uint64_t>> goldens;
+  const bool loaded = load_goldens(SOC_GOLDEN_FILE, goldens);
+  EXPECT_TRUE(loaded) << "cannot read " << SOC_GOLDEN_FILE
+                      << " — run `cmake --build build --target regen_goldens`";
+  for (const auto& [k, v] : goldens) {
+    if (k == key) return v;
+  }
+  ADD_FAILURE() << "no golden named '" << key << "' in " << SOC_GOLDEN_FILE
+                << " — run `cmake --build build --target regen_goldens`";
+  return 0;
 }
 
-TEST(GoldenTrajectory, NewscastSeriesBitIdenticalToPr1) {
-  EXPECT_EQ(experiment_fingerprint(core::ProtocolKind::kNewscast),
-            kGoldenNewscast)
-      << std::hex
-      << experiment_fingerprint(core::ProtocolKind::kNewscast);
+TEST(GoldenTrajectory, CanRoutesBitIdentical) {
+  const std::uint64_t actual = route_fingerprint();
+  EXPECT_EQ(actual, expected("routes")) << "actual: " << actual;
+}
+
+TEST(GoldenTrajectory, HidCanSeriesBitIdentical) {
+  const std::uint64_t actual =
+      experiment_fingerprint(core::ProtocolKind::kHidCan);
+  EXPECT_EQ(actual, expected("hid_can")) << "actual: " << actual;
+}
+
+TEST(GoldenTrajectory, NewscastSeriesBitIdentical) {
+  const std::uint64_t actual =
+      experiment_fingerprint(core::ProtocolKind::kNewscast);
+  EXPECT_EQ(actual, expected("newscast")) << "actual: " << actual;
+}
+
+TEST(GoldenTrajectory, KhdnCanSeriesBitIdentical) {
+  const std::uint64_t actual =
+      experiment_fingerprint(core::ProtocolKind::kKhdnCan);
+  EXPECT_EQ(actual, expected("khdn_can")) << "actual: " << actual;
+}
+
+/// --regen: recompute every registered fingerprint and rewrite the golden
+/// file, printing old -> new so the intentional change is reviewable.
+int regen_goldens() {
+  std::vector<std::pair<std::string, std::uint64_t>> old;
+  load_goldens(SOC_GOLDEN_FILE, old);  // missing file: all keys print (new)
+  const auto previous = [&](std::string_view key) -> const std::uint64_t* {
+    for (const auto& [k, v] : old) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  };
+
+  std::ofstream out(SOC_GOLDEN_FILE, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "regen: cannot write %s\n", SOC_GOLDEN_FILE);
+    return 1;
+  }
+  out << "# Golden trajectory fingerprints (FNV-1a over counters and raw\n"
+         "# double bits; reference toolchain only).  Do not edit by hand:\n"
+         "# regenerate with `cmake --build build --target regen_goldens`,\n"
+         "# which also rewrites bench/BENCH_baseline.json in the same step.\n";
+  for (const Golden& g : kGoldens) {
+    const std::uint64_t value = g.compute();
+    out << g.key << ' ' << value << '\n';
+    const std::uint64_t* was = previous(g.key);
+    if (was == nullptr) {
+      std::printf("regen: %-10s (new)      -> %llu\n", g.key,
+                  static_cast<unsigned long long>(value));
+    } else if (*was != value) {
+      std::printf("regen: %-10s %llu -> %llu\n", g.key,
+                  static_cast<unsigned long long>(*was),
+                  static_cast<unsigned long long>(value));
+    } else {
+      std::printf("regen: %-10s unchanged (%llu)\n", g.key,
+                  static_cast<unsigned long long>(value));
+    }
+  }
+  std::printf("regen: wrote %s\n", SOC_GOLDEN_FILE);
+  return 0;
 }
 
 }  // namespace
 }  // namespace soc
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--regen") return soc::regen_goldens();
+  }
+  return RUN_ALL_TESTS();
+}

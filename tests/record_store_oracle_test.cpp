@@ -1,0 +1,213 @@
+// Churn-stress oracle for the sorted flat RecordStore.
+//
+// The PR that converted RecordStore from unordered_map to a NodeId-sorted
+// flat array intentionally re-baselined the golden trajectories (candidate
+// order now follows provider id instead of hash-iteration order).  This
+// suite is the proof obligation backing that re-baseline: under random
+// interleavings of every mutating operation, the flat store must hold
+// exactly the same record *set* as a from-scratch map oracle, and every
+// result list must come out in ascending provider order — the new, intended
+// deterministic order.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/index/record.hpp"
+
+namespace soc::index {
+namespace {
+
+/// The executable specification: newest record per provider, TTL expiry.
+/// Deliberately the old representation (hash map, order-free) rebuilt from
+/// the documented semantics rather than from the store's code.
+class MapOracle {
+ public:
+  void put(const Record& r) { records_[r.provider] = r; }
+  bool erase(NodeId provider) { return records_.erase(provider) > 0; }
+
+  void prune(SimTime now) {
+    std::erase_if(records_,
+                  [&](const auto& kv) { return kv.second.expired(now); });
+  }
+
+  [[nodiscard]] std::size_t live_count(SimTime now) const {
+    std::size_t n = 0;
+    for (const auto& [_, r] : records_) n += !r.expired(now);
+    return n;
+  }
+
+  [[nodiscard]] std::vector<Record> qualified(const ResourceVector& demand,
+                                              SimTime now) const {
+    std::vector<Record> out;
+    for (const auto& [_, r] : records_) {
+      if (!r.expired(now) && r.qualifies(demand)) out.push_back(r);
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::vector<Record> all_live(SimTime now) const {
+    std::vector<Record> out;
+    for (const auto& [_, r] : records_) {
+      if (!r.expired(now)) out.push_back(r);
+    }
+    return out;
+  }
+
+  /// Matches RecordStore::extract_in_zone: the sweep also drops (without
+  /// returning) any expired record it passes over.
+  std::vector<Record> extract_in_zone(const can::Zone& zone, SimTime now) {
+    std::vector<Record> out;
+    std::erase_if(records_, [&](const auto& kv) {
+      if (kv.second.expired(now)) return true;
+      if (!zone.contains(kv.second.location)) return false;
+      out.push_back(kv.second);
+      return true;
+    });
+    return out;
+  }
+
+  std::vector<Record> extract_all() {
+    std::vector<Record> out;
+    for (const auto& [_, r] : records_) out.push_back(r);
+    records_.clear();
+    return out;
+  }
+
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+
+ private:
+  std::unordered_map<NodeId, Record> records_;
+};
+
+Record random_record(std::uint32_t provider, Rng& rng, SimTime now) {
+  Record r;
+  r.provider = NodeId(provider);
+  ResourceVector a(2);
+  a[0] = rng.uniform(0, 10);
+  a[1] = rng.uniform(0, 10);
+  r.availability = a;
+  r.location = can::Point{a[0] / 10.0, a[1] / 10.0};
+  r.published_at = now;
+  // Mixed lifetimes so every comparison sees live and expired entries.
+  r.expires_at = now + seconds(rng.uniform(1.0, 900.0));
+  return r;
+}
+
+bool same_record(const Record& a, const Record& b) {
+  return a.provider == b.provider && a.availability == b.availability &&
+         a.published_at == b.published_at && a.expires_at == b.expires_at;
+}
+
+void sort_by_provider(std::vector<Record>& v) {
+  std::sort(v.begin(), v.end(), [](const Record& a, const Record& b) {
+    return a.provider < b.provider;
+  });
+}
+
+/// Store output must equal the oracle's as a set; `expect_sorted` checks
+/// the store's intended ascending-provider ordering on top.
+void expect_same_set(std::vector<Record> from_store,
+                     std::vector<Record> from_oracle, bool expect_sorted,
+                     const char* what, int step) {
+  if (expect_sorted) {
+    EXPECT_TRUE(std::is_sorted(from_store.begin(), from_store.end(),
+                               [](const Record& a, const Record& b) {
+                                 return a.provider < b.provider;
+                               }))
+        << what << " not NodeId-sorted at step " << step;
+  }
+  sort_by_provider(from_store);
+  sort_by_provider(from_oracle);
+  ASSERT_EQ(from_store.size(), from_oracle.size())
+      << what << " size diverged at step " << step;
+  for (std::size_t i = 0; i < from_store.size(); ++i) {
+    EXPECT_TRUE(same_record(from_store[i], from_oracle[i]))
+        << what << " entry " << i << " diverged at step " << step;
+  }
+}
+
+TEST(RecordStoreOracle, RandomOpChurnMatchesMapOracle) {
+  constexpr std::uint32_t kProviders = 48;
+  constexpr int kSteps = 6000;
+  RecordStore store;
+  MapOracle oracle;
+  Rng rng(20260729);
+  SimTime now = 0;
+
+  for (int step = 0; step < kSteps; ++step) {
+    now += seconds(rng.uniform(0.0, 30.0));  // time only moves forward
+    const double roll = rng.uniform();
+    const auto provider =
+        static_cast<std::uint32_t>(rng.uniform_int(0, kProviders - 1));
+    if (roll < 0.45) {
+      const Record r = random_record(provider, rng, now);
+      store.put(r);
+      oracle.put(r);
+    } else if (roll < 0.62) {
+      EXPECT_EQ(store.erase(NodeId(provider)), oracle.erase(NodeId(provider)))
+          << "erase result diverged at step " << step;
+    } else if (roll < 0.72) {
+      store.prune(now);
+      oracle.prune(now);
+    } else if (roll < 0.80) {
+      // Zone sweep (ownership handoff): random axis-aligned box.
+      can::Point lo{rng.uniform(), rng.uniform()};
+      can::Point hi{rng.uniform(lo[0], 1.0), rng.uniform(lo[1], 1.0)};
+      const can::Zone zone(lo, hi);
+      expect_same_set(store.extract_in_zone(zone, now),
+                      oracle.extract_in_zone(zone, now),
+                      /*expect_sorted=*/true, "extract_in_zone", step);
+    } else if (roll < 0.82) {
+      // Full drain (owner departure).
+      expect_same_set(store.extract_all(), oracle.extract_all(),
+                      /*expect_sorted=*/true, "extract_all", step);
+    } else {
+      // Read-only comparison step.
+      ResourceVector demand(2);
+      demand[0] = rng.uniform(0, 10);
+      demand[1] = rng.uniform(0, 10);
+      expect_same_set(store.qualified(demand, now),
+                      oracle.qualified(demand, now),
+                      /*expect_sorted=*/true, "qualified", step);
+      EXPECT_EQ(store.qualified_count(demand, now),
+                oracle.qualified(demand, now).size())
+          << "qualified_count diverged at step " << step;
+    }
+
+    // Invariants after every op.
+    ASSERT_EQ(store.size(), oracle.size()) << "size diverged at step " << step;
+    ASSERT_EQ(store.live_count(now), oracle.live_count(now))
+        << "live_count diverged at step " << step;
+    ASSERT_EQ(store.has_live_records(now), oracle.live_count(now) > 0)
+        << "has_live_records diverged at step " << step;
+    if (step % 250 == 0) {
+      expect_same_set(store.all_live(now), oracle.all_live(now),
+                      /*expect_sorted=*/true, "all_live", step);
+    }
+  }
+}
+
+TEST(RecordStoreOracle, QualifiedIntoReusesScratchAndMatchesQualified) {
+  RecordStore store;
+  Rng rng(99);
+  for (std::uint32_t p = 0; p < 32; ++p) {
+    store.put(random_record(p, rng, 0));
+  }
+  const ResourceVector demand{3.0, 3.0};
+  std::vector<Record> scratch{random_record(999, rng, 0)};  // stale content
+  store.qualified_into(demand, seconds(1), scratch);
+  const auto fresh = store.qualified(demand, seconds(1));
+  ASSERT_EQ(scratch.size(), fresh.size());
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_TRUE(same_record(scratch[i], fresh[i])) << "entry " << i;
+  }
+  // Repeated harvests into the same buffer are idempotent.
+  store.qualified_into(demand, seconds(1), scratch);
+  ASSERT_EQ(scratch.size(), fresh.size());
+}
+
+}  // namespace
+}  // namespace soc::index
