@@ -1,20 +1,30 @@
-// Mechanical perf-regression gate over two BENCH_*.json perf-trajectory
-// files (the schema bench_common.hpp's write_perf_json emits).
+// Mechanical perf-regression gate over BENCH_*.json perf-trajectory files
+// (the schema bench_common.hpp's write_perf_json emits).  The comparison
+// logic lives in bench/compare_core.hpp (unit-tested); this file is the
+// CLI.
 //
 //   ./bench_compare [--threshold 0.10] [--check-counts=1] old.json new.json
+//   ./bench_compare --trend=N [--threshold 0.10] [--check-counts=1]
+//                   hist1.json hist2.json ... new.json
 //
 // (Flag values use the = form when a positional operand follows, matching
 // CliArgs's "--name value" consumption rule.)
 //
-// For every experiment name present in both files it compares the hot-path
-// rates (events/sec, messages/sec) and exits non-zero when the new file is
-// more than `threshold` slower on any of them.  Wall-clock rates only make
-// sense on one machine under one config, so the tool refuses to compare
-// files whose nodes/hours differ.
+// Single-baseline mode compares the hot-path rates (events/sec,
+// messages/sec) of every experiment present in both files and exits
+// non-zero when the new file is more than `threshold` slower on any of
+// them.  Trend mode gates against the per-experiment *median* of the last
+// N history files instead — one noisy baseline cannot move a median, so
+// the threshold can sit tighter without flaking (run it once several PRs
+// of baseline history exist).  Wall-clock rates only make sense on one
+// machine under one config, so the tool refuses to compare files whose
+// nodes/hours differ.
 //
 // --check-counts additionally fails when the event/message *counts* drift
 // for the same config+seed — a determinism tripwire: an engine refactor
-// that changes counts changed the simulated trajectory, not just its speed.
+// that changes counts changed the simulated trajectory, not just its
+// speed.  In trend mode counts compare against the most recent history
+// file (counts are exact; medians are not meaningful for them).
 //
 // The checked-in bench/BENCH_baseline.json is the perf-history anchor; the
 // bench_compare ctest target re-runs bench_report at the baseline's config
@@ -22,52 +32,17 @@
 // the gate is for order-of-magnitude regressions, the README table is for
 // the curated trajectory).
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <fstream>
-#include <optional>
 #include <sstream>
-#include <string>
-#include <vector>
 
+#include "bench/compare_core.hpp"
 #include "src/common/cli.hpp"
 
 namespace {
 
-struct Experiment {
-  std::string name;
-  double wall_seconds = 0.0;
-  double events = 0.0;
-  double events_per_sec = 0.0;
-  double messages = 0.0;
-  double messages_per_sec = 0.0;
-};
-
-struct Report {
-  double nodes = 0.0;
-  double hours = 0.0;
-  double seed = 0.0;
-  std::vector<Experiment> experiments;
-};
-
-/// Extract the number following `"key": ` in text[from, to); nullopt when
-/// the key is absent there.  Bounding the search keeps a field missing from
-/// one experiment block from silently reading the next block's value.
-/// Tolerant of whitespace; enough JSON for our own schema.
-std::optional<double> find_number(const std::string& text,
-                                  const std::string& key, std::size_t from,
-                                  std::size_t to = std::string::npos) {
-  const std::string needle = "\"" + key + "\":";
-  const std::size_t at = text.find(needle, from);
-  if (at == std::string::npos || at >= to) return std::nullopt;
-  const char* start = text.c_str() + at + needle.size();
-  char* end = nullptr;
-  const double v = std::strtod(start, &end);
-  if (end == start) return std::nullopt;
-  return v;
-}
-
-std::optional<Report> parse_report(const std::string& path) {
+std::optional<soc::bench::PerfReport> parse_report_file(
+    const std::string& path) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "bench_compare: cannot read %s\n", path.c_str());
@@ -75,59 +50,20 @@ std::optional<Report> parse_report(const std::string& path) {
   }
   std::ostringstream buf;
   buf << in.rdbuf();
-  const std::string text = buf.str();
-
-  Report r;
-  r.nodes = find_number(text, "nodes", 0).value_or(0.0);
-  r.hours = find_number(text, "hours", 0).value_or(0.0);
-  r.seed = find_number(text, "seed", 0).value_or(0.0);
-
-  std::size_t pos = 0;
-  for (;;) {
-    const std::string needle = "\"name\": \"";
-    const std::size_t at = text.find(needle, pos);
-    if (at == std::string::npos) break;
-    const std::size_t name_start = at + needle.size();
-    const std::size_t name_end = text.find('"', name_start);
-    if (name_end == std::string::npos) break;
-    // Fields must come from this experiment's block: bound the search at
-    // the next experiment's "name" key (or end of file for the last one).
-    std::size_t block_end = text.find(needle, name_end);
-    if (block_end == std::string::npos) block_end = text.size();
-    Experiment e;
-    e.name = text.substr(name_start, name_end - name_start);
-    e.wall_seconds =
-        find_number(text, "wall_seconds", name_end, block_end).value_or(0.0);
-    e.events = find_number(text, "events", name_end, block_end).value_or(0.0);
-    e.events_per_sec =
-        find_number(text, "events_per_sec", name_end, block_end).value_or(0.0);
-    e.messages =
-        find_number(text, "messages", name_end, block_end).value_or(0.0);
-    e.messages_per_sec = find_number(text, "messages_per_sec", name_end,
-                                     block_end).value_or(0.0);
-    r.experiments.push_back(std::move(e));
-    pos = name_end;
-  }
-  if (r.experiments.empty()) {
-    std::fprintf(stderr, "bench_compare: no experiments found in %s\n",
+  std::string err;
+  auto r = soc::bench::parse_report_text(buf.str(), &err);
+  if (!r.has_value()) {
+    std::fprintf(stderr, "bench_compare: %s in %s\n", err.c_str(),
                  path.c_str());
-    return std::nullopt;
   }
   return r;
-}
-
-const Experiment* find_experiment(const Report& r, const std::string& name) {
-  for (const auto& e : r.experiments) {
-    if (e.name == name) return &e;
-  }
-  return nullptr;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Positional operands (the two files) are whatever does not look like a
-  // flag; flags go through CliArgs.
+  // Positional operands (the report files) are whatever does not look like
+  // a flag; flags go through CliArgs.
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--", 2) == 0) {
@@ -143,85 +79,65 @@ int main(int argc, char** argv) {
   const soc::CliArgs args(argc, argv);
   const double threshold = args.get_double("threshold", 0.10);
   const bool check_counts = args.get_bool("check-counts", false);
+  const auto trend = static_cast<std::size_t>(args.get_int("trend", 0));
 
-  if (files.size() != 2) {
-    std::fprintf(stderr,
-                 "usage: bench_compare [--threshold 0.10] [--check-counts=1] "
-                 "old.json new.json\n");
+  if ((trend == 0 && files.size() != 2) || (trend > 0 && files.size() < 2)) {
+    std::fprintf(
+        stderr,
+        "usage: bench_compare [--threshold 0.10] [--check-counts=1] "
+        "old.json new.json\n"
+        "       bench_compare --trend=N [...] hist1.json ... new.json\n");
     return 2;
   }
 
-  const auto old_r = parse_report(files[0]);
-  const auto new_r = parse_report(files[1]);
-  if (!old_r.has_value() || !new_r.has_value()) return 2;
-
-  if (old_r->nodes != new_r->nodes || old_r->hours != new_r->hours) {
-    std::fprintf(stderr,
-                 "bench_compare: config mismatch (old: nodes=%.0f hours=%.2f, "
-                 "new: nodes=%.0f hours=%.2f) — rates are not comparable\n",
-                 old_r->nodes, old_r->hours, new_r->nodes, new_r->hours);
-    return 2;
+  std::vector<soc::bench::PerfReport> reports;
+  for (const std::string& f : files) {
+    const auto r = parse_report_file(f);
+    if (!r.has_value()) return 2;
+    reports.push_back(*r);
   }
-  const bool same_seed = old_r->seed == new_r->seed;
+  const soc::bench::PerfReport fresh = reports.back();
+  reports.pop_back();
 
-  std::printf("# bench_compare %s -> %s (threshold %.0f%%)\n",
-              files[0].c_str(), files[1].c_str(), threshold * 100.0);
-  std::printf("%-14s %14s %14s %8s %14s %14s %8s\n", "config", "old-ev/s",
-              "new-ev/s", "ratio", "old-msg/s", "new-msg/s", "ratio");
-
-  int regressions = 0;
-  int count_drifts = 0;
-  // A baseline experiment missing from the new report is the most extreme
-  // regression of all (the benchmark vanished) — never pass it silently.
-  for (const Experiment& e_old : old_r->experiments) {
-    if (find_experiment(*new_r, e_old.name) == nullptr) {
-      std::printf("%-14s MISSING from new report  << REGRESSION\n",
-                  e_old.name.c_str());
-      ++regressions;
-    }
-  }
-  for (const Experiment& e_new : new_r->experiments) {
-    const Experiment* e_old = find_experiment(*old_r, e_new.name);
-    if (e_old == nullptr) {
-      std::printf("%-14s (new; no baseline)\n", e_new.name.c_str());
-      continue;
-    }
-    const double ev_ratio = e_old->events_per_sec > 0.0
-                                ? e_new.events_per_sec / e_old->events_per_sec
-                                : 1.0;
-    const double msg_ratio =
-        e_old->messages_per_sec > 0.0
-            ? e_new.messages_per_sec / e_old->messages_per_sec
-            : 1.0;
-    const bool regressed =
-        ev_ratio < 1.0 - threshold || msg_ratio < 1.0 - threshold;
-    std::printf("%-14s %14.0f %14.0f %7.2fx %14.0f %14.0f %7.2fx%s\n",
-                e_new.name.c_str(), e_old->events_per_sec,
-                e_new.events_per_sec, ev_ratio, e_old->messages_per_sec,
-                e_new.messages_per_sec, msg_ratio,
-                regressed ? "  << REGRESSION" : "");
-    if (regressed) ++regressions;
-    if (same_seed &&
-        (e_old->events != e_new.events || e_old->messages != e_new.messages)) {
-      ++count_drifts;
-      std::printf(
-          "%-14s note: same-seed counts drifted (events %.0f -> %.0f, "
-          "messages %.0f -> %.0f)%s\n",
-          "", e_old->events, e_new.events, e_old->messages, e_new.messages,
-          check_counts ? "  << DRIFT" : " — trajectory changed");
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    if (reports[i].nodes != fresh.nodes || reports[i].hours != fresh.hours) {
+      std::fprintf(stderr,
+                   "bench_compare: config mismatch (%s: nodes=%.0f "
+                   "hours=%.2f, new: nodes=%.0f hours=%.2f) — rates are not "
+                   "comparable\n",
+                   files[i].c_str(), reports[i].nodes, reports[i].hours,
+                   fresh.nodes, fresh.hours);
+      return 2;
     }
   }
 
-  if (regressions > 0) {
+  const soc::bench::PerfReport base =
+      trend > 0 ? soc::bench::median_baseline(reports, trend) : reports[0];
+  const bool same_seed = base.seed == fresh.seed;
+
+  if (trend > 0) {
+    std::printf("# bench_compare --trend=%zu over %zu history file(s) -> %s "
+                "(threshold %.0f%%)\n",
+                trend, reports.size(), files.back().c_str(),
+                threshold * 100.0);
+  } else {
+    std::printf("# bench_compare %s -> %s (threshold %.0f%%)\n",
+                files[0].c_str(), files.back().c_str(), threshold * 100.0);
+  }
+
+  const soc::bench::CompareOutcome out = soc::bench::compare_reports(
+      base, fresh, threshold, same_seed, check_counts);
+
+  if (out.regressions > 0) {
     std::fprintf(stderr, "bench_compare: %d regression(s) beyond %.0f%%\n",
-                 regressions, threshold * 100.0);
+                 out.regressions, threshold * 100.0);
     return 1;
   }
-  if (check_counts && count_drifts > 0) {
+  if (check_counts && out.count_drifts > 0) {
     std::fprintf(stderr,
                  "bench_compare: %d same-seed count drift(s) — determinism "
                  "tripwire\n",
-                 count_drifts);
+                 out.count_drifts);
     return 1;
   }
   std::printf("bench_compare: OK\n");

@@ -1,0 +1,203 @@
+// Core of the bench_compare gate, factored out of the binary so the trend
+// logic is unit-testable (tests/bench_compare_trend_test.cpp) and the CLI
+// in bench_compare.cpp stays a thin wrapper.
+//
+// Two gating modes over BENCH_*.json perf-trajectory reports:
+//   * single-baseline: new rates vs one old report, threshold-gated — the
+//     original gate;
+//   * trend (--trend=N): new rates vs the per-experiment *median* of the
+//     last N history reports.  One noisy baseline run (a machine hiccup in
+//     either direction) cannot move a median anchored by N-1 sane runs,
+//     so the threshold can sit tighter without flaking — the ROADMAP
+//     trend-gating item.
+//
+// Count-drift checking (the determinism tripwire) always compares against
+// the *most recent* same-seed history report: counts are exact, medians
+// are not meaningful for them.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace soc::bench {
+
+struct PerfExperiment {
+  std::string name;
+  double wall_seconds = 0.0;
+  double events = 0.0;
+  double events_per_sec = 0.0;
+  double messages = 0.0;
+  double messages_per_sec = 0.0;
+};
+
+struct PerfReport {
+  double nodes = 0.0;
+  double hours = 0.0;
+  double seed = 0.0;
+  std::vector<PerfExperiment> experiments;
+};
+
+/// Extract the number following `"key": ` in text[from, to); nullopt when
+/// the key is absent there.  Bounding the search keeps a field missing
+/// from one experiment block from silently reading the next block's value.
+/// Tolerant of whitespace; enough JSON for our own schema.
+inline std::optional<double> find_number(const std::string& text,
+                                         const std::string& key,
+                                         std::size_t from,
+                                         std::size_t to = std::string::npos) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle, from);
+  if (at == std::string::npos || at >= to) return std::nullopt;
+  const char* start = text.c_str() + at + needle.size();
+  char* end = nullptr;
+  const double v = std::strtod(start, &end);
+  if (end == start) return std::nullopt;
+  return v;
+}
+
+/// Parse one BENCH_*.json body.  Returns nullopt (and sets `err`) when no
+/// experiment block is found.
+inline std::optional<PerfReport> parse_report_text(const std::string& text,
+                                                   std::string* err) {
+  PerfReport r;
+  r.nodes = find_number(text, "nodes", 0).value_or(0.0);
+  r.hours = find_number(text, "hours", 0).value_or(0.0);
+  r.seed = find_number(text, "seed", 0).value_or(0.0);
+
+  std::size_t pos = 0;
+  for (;;) {
+    const std::string needle = "\"name\": \"";
+    const std::size_t at = text.find(needle, pos);
+    if (at == std::string::npos) break;
+    const std::size_t name_start = at + needle.size();
+    const std::size_t name_end = text.find('"', name_start);
+    if (name_end == std::string::npos) break;
+    // Fields must come from this experiment's block: bound the search at
+    // the next experiment's "name" key (or end of file for the last one).
+    std::size_t block_end = text.find(needle, name_end);
+    if (block_end == std::string::npos) block_end = text.size();
+    PerfExperiment e;
+    e.name = text.substr(name_start, name_end - name_start);
+    e.wall_seconds =
+        find_number(text, "wall_seconds", name_end, block_end).value_or(0.0);
+    e.events = find_number(text, "events", name_end, block_end).value_or(0.0);
+    e.events_per_sec =
+        find_number(text, "events_per_sec", name_end, block_end).value_or(0.0);
+    e.messages =
+        find_number(text, "messages", name_end, block_end).value_or(0.0);
+    e.messages_per_sec = find_number(text, "messages_per_sec", name_end,
+                                     block_end).value_or(0.0);
+    r.experiments.push_back(std::move(e));
+    pos = name_end;
+  }
+  if (r.experiments.empty()) {
+    if (err != nullptr) *err = "no experiments found";
+    return std::nullopt;
+  }
+  return r;
+}
+
+inline const PerfExperiment* find_experiment(const PerfReport& r,
+                                             const std::string& name) {
+  for (const auto& e : r.experiments) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+inline double median_of(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+/// Collapse the last `last_n` history reports into one baseline: for every
+/// experiment of the most recent report, the rate fields become the median
+/// over the history reports that contain that experiment; counts (and the
+/// config/seed header) are taken from the most recent report verbatim, so
+/// the count-drift tripwire still compares exact same-seed integers.
+inline PerfReport median_baseline(const std::vector<PerfReport>& history,
+                                  std::size_t last_n) {
+  const std::size_t n = std::min(last_n, history.size());
+  const PerfReport& newest = history.back();
+  PerfReport base = newest;
+  for (PerfExperiment& e : base.experiments) {
+    std::vector<double> ev_rates;
+    std::vector<double> msg_rates;
+    for (std::size_t i = history.size() - n; i < history.size(); ++i) {
+      if (const PerfExperiment* h = find_experiment(history[i], e.name)) {
+        ev_rates.push_back(h->events_per_sec);
+        msg_rates.push_back(h->messages_per_sec);
+      }
+    }
+    if (!ev_rates.empty()) {
+      e.events_per_sec = median_of(ev_rates);
+      e.messages_per_sec = median_of(msg_rates);
+    }
+  }
+  return base;
+}
+
+struct CompareOutcome {
+  int regressions = 0;
+  int count_drifts = 0;
+};
+
+/// Rate + count comparison of `fresh` against `base`, printing the table
+/// to stdout (the bench_compare CLI output).  `same_seed` gates the count
+/// tripwire; `check_counts` only selects the drift note's styling (the
+/// caller decides whether drifts fail the run).
+inline CompareOutcome compare_reports(const PerfReport& base,
+                                      const PerfReport& fresh,
+                                      double threshold, bool same_seed,
+                                      bool check_counts = false) {
+  CompareOutcome out;
+  std::printf("%-14s %14s %14s %8s %14s %14s %8s\n", "config", "old-ev/s",
+              "new-ev/s", "ratio", "old-msg/s", "new-msg/s", "ratio");
+  // A baseline experiment missing from the new report is the most extreme
+  // regression of all (the benchmark vanished) — never pass it silently.
+  for (const PerfExperiment& e_old : base.experiments) {
+    if (find_experiment(fresh, e_old.name) == nullptr) {
+      std::printf("%-14s MISSING from new report  << REGRESSION\n",
+                  e_old.name.c_str());
+      ++out.regressions;
+    }
+  }
+  for (const PerfExperiment& e_new : fresh.experiments) {
+    const PerfExperiment* e_old = find_experiment(base, e_new.name);
+    if (e_old == nullptr) {
+      std::printf("%-14s (new; no baseline)\n", e_new.name.c_str());
+      continue;
+    }
+    const double ev_ratio = e_old->events_per_sec > 0.0
+                                ? e_new.events_per_sec / e_old->events_per_sec
+                                : 1.0;
+    const double msg_ratio =
+        e_old->messages_per_sec > 0.0
+            ? e_new.messages_per_sec / e_old->messages_per_sec
+            : 1.0;
+    const bool regressed =
+        ev_ratio < 1.0 - threshold || msg_ratio < 1.0 - threshold;
+    std::printf("%-14s %14.0f %14.0f %7.2fx %14.0f %14.0f %7.2fx%s\n",
+                e_new.name.c_str(), e_old->events_per_sec,
+                e_new.events_per_sec, ev_ratio, e_old->messages_per_sec,
+                e_new.messages_per_sec, msg_ratio,
+                regressed ? "  << REGRESSION" : "");
+    if (regressed) ++out.regressions;
+    if (same_seed &&
+        (e_old->events != e_new.events || e_old->messages != e_new.messages)) {
+      ++out.count_drifts;
+      std::printf(
+          "%-14s note: same-seed counts drifted (events %.0f -> %.0f, "
+          "messages %.0f -> %.0f)%s\n",
+          "", e_old->events, e_new.events, e_old->messages, e_new.messages,
+          check_counts ? "  << DRIFT" : " — trajectory changed");
+    }
+  }
+  return out;
+}
+
+}  // namespace soc::bench

@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# CI driver for the three test lanes (mirrors the CMakePresets test
+# presets, for environments whose cmake predates presets):
+#
+#   scripts/ci.sh unit      # fast lane: ctest -L unit (seconds)
+#   scripts/ci.sh full      # tier-1: everything incl. the bench gate
+#   scripts/ci.sh nightly   # tier-1 + the 1000-schedule sim_fuzz lane
+#
+# Warnings are errors in every lane (SOC_WERROR=ON is the default).
+set -eu
+
+lane="${1:-full}"
+root="$(cd "$(dirname "$0")/.." && pwd)"
+
+cmake -B "$root/build" -S "$root" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$root/build" -j
+
+cd "$root/build"
+case "$lane" in
+  unit)
+    ctest -L unit --output-on-failure -j8
+    ;;
+  full)
+    ctest --output-on-failure -j8
+    ;;
+  nightly)
+    # -C nightly runs every default-lane test plus the CONFIGURATIONS
+    # nightly entries (the large sim_fuzz budget).
+    ctest -C nightly --output-on-failure -j8
+    ;;
+  *)
+    echo "usage: scripts/ci.sh [unit|full|nightly]" >&2
+    exit 2
+    ;;
+esac

@@ -288,6 +288,12 @@ NodeId CanSpace::random_member(Rng& rng) const {
   return ids[rng.pick_index(ids.size())];
 }
 
+double CanSpace::total_volume() const {
+  double sum = 0.0;
+  for (const auto& [id, m] : members_) sum += m.zone.volume();
+  return sum;
+}
+
 bool CanSpace::verify_adjacency_cache() const {
   for (const auto& [id, m] : members_) {
     if (m.links.size() != m.neighbors.size()) return false;

@@ -129,6 +129,11 @@ class CanSpace {
   /// A uniformly random member (for bootstrap contacts).
   [[nodiscard]] NodeId random_member(Rng& rng) const;
 
+  /// Sum of all member zone volumes.  With tiles_unit_cube() this is ≈ 1
+  /// by construction; the fuzz harness checks it as a cheap O(n)
+  /// tessellation tripwire in addition to the full O(n²) verifier.
+  [[nodiscard]] double total_volume() const;
+
   /// Test oracle: zones tile the cube, neighbor sets are exactly the
   /// adjacency relation and symmetric, and the cached per-neighbor
   /// adjacency metadata matches a from-scratch recomputation.

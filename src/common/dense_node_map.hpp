@@ -98,6 +98,11 @@ class DenseNodeMap {
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] bool empty() const { return size_ == 0; }
 
+  /// Backing-array length (max id ever inserted + 1): what iteration
+  /// actually walks.  slot_span() - size() is the vacant-slot count the
+  /// long-churn stress test quantifies (see ROADMAP on id recycling).
+  [[nodiscard]] std::size_t slot_span() const { return slots_.size(); }
+
   /// Iteration in ascending id order; *it is a {NodeId, T&} pair.
   template <bool Const>
   class Iterator {

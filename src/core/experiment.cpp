@@ -8,6 +8,7 @@
 #include "src/core/khdn_protocol.hpp"
 #include "src/core/newscast_protocol.hpp"
 #include "src/core/pidcan_protocol.hpp"
+#include "src/scenario/engine.hpp"
 
 namespace soc::core {
 
@@ -43,7 +44,13 @@ struct Experiment::TaskRun {
 
 Experiment::Experiment(ExperimentConfig config)
     : config_(config), sim_(config.seed), rng_(sim_.rng().fork("experiment")),
-      node_gen_(config.nodegen),
+      node_gen_([&config] {
+        workload::NodeGenConfig ng = config.nodegen;
+        // Scenario capacity skew is wired into the node generator so it
+        // shapes the initial population and every later join alike.
+        if (config.scenario.skew.enabled()) config.scenario.skew.apply(ng);
+        return workload::NodeGenerator(ng);
+      }()),
       task_gen_([&config] {
         workload::TaskGenConfig tg = config.taskgen;
         tg.demand_ratio = config.demand_ratio;
@@ -146,6 +153,64 @@ void Experiment::setup() {
   if (config_.churn_task_policy == ChurnTaskPolicy::kCheckpointRestart) {
     start_checkpointing();
   }
+  if (config_.scenario.enabled()) {
+    scenario_engine_ =
+        std::make_unique<scenario::ScenarioEngine>(*this, config_.scenario);
+    scenario_engine_->install();
+  }
+}
+
+NodeId Experiment::scenario_join() {
+  const NodeId id = spawn_host();
+  start_arrivals(id);
+  return id;
+}
+
+void Experiment::scenario_depart(NodeId id) {
+  const Host* h = hosts_.find(id);
+  if (h == nullptr || !h->alive) return;
+  on_host_departed(id);
+}
+
+bool Experiment::host_alive(NodeId id) const {
+  const Host* h = hosts_.find(id);
+  return h != nullptr && h->alive;
+}
+
+std::vector<NodeId> Experiment::alive_ids() const {
+  std::vector<NodeId> out;
+  out.reserve(alive_count_);
+  for (const auto& [id, h] : hosts_) {
+    if (h.alive) out.push_back(id);
+  }
+  return out;
+}
+
+std::string Experiment::check_accounting() const {
+  std::size_t alive = 0;
+  std::size_t total = 0;
+  for (const auto& [id, h] : hosts_) {
+    ++total;
+    alive += h.alive ? 1 : 0;
+    if (h.scheduler == nullptr) {
+      return "host " + std::to_string(id.value) + " has no scheduler";
+    }
+  }
+  if (total != hosts_.size()) {
+    return "DenseNodeMap size " + std::to_string(hosts_.size()) +
+           " != iterated slot count " + std::to_string(total);
+  }
+  if (alive != alive_count_) {
+    return "alive counter " + std::to_string(alive_count_) + " != " +
+           std::to_string(alive) + " alive hosts";
+  }
+  for (const auto& kv : in_flight_) {
+    if (hosts_.find(kv.second.provider) == nullptr) {
+      return "in-flight task placed on unknown host " +
+             std::to_string(kv.second.provider.value);
+    }
+  }
+  return {};
 }
 
 void Experiment::start_arrivals(NodeId id) {

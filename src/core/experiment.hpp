@@ -20,7 +20,12 @@
 #include "src/psm/checkpoint.hpp"
 #include "src/psm/scheduler.hpp"
 #include "src/query/query_engine.hpp"
+#include "src/scenario/spec.hpp"
 #include "src/workload/generator.hpp"
+
+namespace soc::scenario {
+class ScenarioEngine;
+}
 
 namespace soc::core {
 
@@ -77,6 +82,12 @@ struct ExperimentConfig {
   SimTime dispatch_timeout = seconds(120);
   /// O(n)-per-failure ground-truth scan (slower; off for benches).
   bool diagnose_failures = false;
+
+  /// Opt-in scenario schedule (src/scenario): phased churn, join bursts,
+  /// mass failures, capacity skew.  A disabled spec (the default) leaves the
+  /// experiment bit-identical to one built before the scenario layer
+  /// existed — no engine is constructed and no RNG stream is forked.
+  scenario::ScenarioSpec scenario;
 
   index::InscanConfig inscan;
   query::QueryConfig query;
@@ -162,6 +173,32 @@ class Experiment {
   /// Submit one task immediately from `origin` (examples/tests).
   void submit_task(NodeId origin);
 
+  [[nodiscard]] const ExperimentConfig& config() const { return config_; }
+
+  // -- Scenario-engine hooks (src/scenario/engine.cpp) and fuzz oracles.
+  // The engine drives population changes through the exact same paths the
+  // built-in Poisson churn uses, so scenario events exercise identical
+  // maintenance/rehome/teardown machinery.
+
+  /// Spawn one fresh host and start its Poisson task arrivals (the same
+  /// sequence a churn replacement join performs).
+  NodeId scenario_join();
+  /// Depart `id` (no-op when already gone); same path as churn departures.
+  void scenario_depart(NodeId id);
+  [[nodiscard]] bool host_alive(NodeId id) const;
+  /// Alive host ids in ascending order.
+  [[nodiscard]] std::vector<NodeId> alive_ids() const;
+
+  /// Internal-accounting oracle for the invariant checker: alive counter,
+  /// host-map occupancy and in-flight placements must agree.  Returns an
+  /// empty string when consistent, else a description of the violation.
+  [[nodiscard]] std::string check_accounting() const;
+
+  /// The scenario engine, when the config enables one (else nullptr).
+  [[nodiscard]] const scenario::ScenarioEngine* scenario_engine() const {
+    return scenario_engine_.get();
+  }
+
  private:
   struct Host {
     ResourceVector capacity;
@@ -190,6 +227,7 @@ class Experiment {
   ExperimentConfig config_;
   sim::Simulator sim_;
   Rng rng_;
+  std::unique_ptr<scenario::ScenarioEngine> scenario_engine_;
   std::unique_ptr<net::Topology> topology_;
   std::unique_ptr<net::MessageBus> bus_;
   std::unique_ptr<DiscoveryProtocol> protocol_;

@@ -35,7 +35,7 @@ void KhdnProtocol::on_join(NodeId id) {
   space_.join(id);
   system_.add_node(id);
   for (std::size_t i = 0; i < space_.neighbors_of(id).size(); ++i) {
-    bus_.stats().on_send(id, net::MsgType::kMaintenance, 64);
+    bus_.stats().on_synthetic_send(id, net::MsgType::kMaintenance, 64);
   }
   system_.publish_now(id);
 }
@@ -46,7 +46,7 @@ void KhdnProtocol::on_leave(NodeId id) {
   system_.remove_node(id);
   space_.leave(id);
   for (std::size_t i = 0; i < msgs; ++i) {
-    bus_.stats().on_send(id, net::MsgType::kMaintenance, 64);
+    bus_.stats().on_synthetic_send(id, net::MsgType::kMaintenance, 64);
   }
 }
 

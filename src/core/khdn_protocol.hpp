@@ -21,6 +21,7 @@ class KhdnProtocol final : public DiscoveryProtocol {
 
   [[nodiscard]] can::CanSpace& space() { return space_; }
   [[nodiscard]] khdn::KhdnSystem& system() { return system_; }
+  [[nodiscard]] const ResourceVector& cmax() const { return cmax_; }
 
  private:
   ResourceVector cmax_;

@@ -80,7 +80,7 @@ void PidCanProtocol::on_join(NodeId id) {
   const std::size_t msgs =
       options_.maintenance_msgs_per_join + space_.neighbors_of(id).size();
   for (std::size_t i = 0; i < msgs; ++i) {
-    bus_.stats().on_send(id, net::MsgType::kMaintenance, 64);
+    bus_.stats().on_synthetic_send(id, net::MsgType::kMaintenance, 64);
   }
   // Fresh members publish immediately so they become discoverable before
   // the first periodic update.
@@ -94,7 +94,7 @@ void PidCanProtocol::on_leave(NodeId id) {
   index_.remove_node(id);
   space_.leave(id);
   for (std::size_t i = 0; i < msgs; ++i) {
-    bus_.stats().on_send(id, net::MsgType::kMaintenance, 64);
+    bus_.stats().on_synthetic_send(id, net::MsgType::kMaintenance, 64);
   }
 }
 

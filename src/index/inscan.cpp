@@ -1,6 +1,7 @@
 #include "src/index/inscan.hpp"
 
 #include <memory>
+#include <string>
 #include <utility>
 
 #include "src/common/logging.hpp"
@@ -58,6 +59,33 @@ void IndexSystem::add_node(NodeId id) {
 void IndexSystem::remove_node(NodeId id) {
   state_.erase(id);
   last_location_.erase(id);
+}
+
+std::vector<NodeId> IndexSystem::tracked_ids() const {
+  std::vector<NodeId> out;
+  out.reserve(state_.size());
+  for (const auto& [id, st] : state_) out.push_back(id);
+  return out;
+}
+
+std::string IndexSystem::check_membership_consistency() const {
+  for (const auto& [id, st] : state_) {
+    if (!space_.contains(id)) {
+      return "ghost NodeState for non-member " + std::to_string(id.value);
+    }
+  }
+  for (const NodeId id : space_.member_ids()) {
+    if (!state_.contains(id)) {
+      return "member " + std::to_string(id.value) + " has no NodeState";
+    }
+  }
+  for (const auto& [id, loc] : last_location_) {
+    if (!state_.contains(id)) {
+      return "last-location filed for untracked node " +
+             std::to_string(id.value);
+    }
+  }
+  return {};
 }
 
 void IndexSystem::start_periodics(NodeId id) {

@@ -18,6 +18,8 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "src/can/space.hpp"
 #include "src/common/dense_node_map.hpp"
@@ -123,6 +125,17 @@ class IndexSystem {
   [[nodiscard]] std::optional<NodeId> pick_index_node(NodeId id,
                                                       std::size_t dim,
                                                       can::Direction dir);
+
+  /// Ids with materialized protocol state, ascending (fuzz/diagnostics).
+  [[nodiscard]] std::vector<NodeId> tracked_ids() const;
+
+  /// Membership-consistency oracle (sim_fuzz): the set of nodes with
+  /// materialized NodeState must be exactly the CanSpace member set, and
+  /// every filed last-location must belong to a tracked node.  The PR-3
+  /// ghost-walk bug is precisely a violation here — a probe walk whose
+  /// origin departed re-materializing state for a non-member.  Returns an
+  /// empty string when consistent, else a description.
+  [[nodiscard]] std::string check_membership_consistency() const;
 
   /// Protocol activity counters (diagnostics and tests).
   struct Activity {

@@ -102,4 +102,11 @@ void RecordStore::prune(SimTime now) {
   std::erase_if(records_, [&](const Record& r) { return r.expired(now); });
 }
 
+bool RecordStore::verify_sorted_unique() const {
+  for (std::size_t i = 1; i < records_.size(); ++i) {
+    if (!(records_[i - 1].provider < records_[i].provider)) return false;
+  }
+  return true;
+}
+
 }  // namespace soc::index

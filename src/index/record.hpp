@@ -79,6 +79,12 @@ class RecordStore {
 
   [[nodiscard]] std::size_t size() const { return records_.size(); }
 
+  /// Structural oracle (sim_fuzz): the backing array — expired entries
+  /// included — is strictly ascending by provider id, i.e. sorted and
+  /// duplicate-free.  Every other accessor's ordering guarantee follows
+  /// from this one property.
+  [[nodiscard]] bool verify_sorted_unique() const;
+
  private:
   [[nodiscard]] std::vector<Record>::iterator lower_bound(NodeId provider);
   [[nodiscard]] std::vector<Record>::const_iterator lower_bound(

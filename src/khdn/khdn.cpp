@@ -41,6 +41,27 @@ void KhdnSystem::add_node(NodeId id) {
 
 void KhdnSystem::remove_node(NodeId id) { caches_.erase(id); }
 
+std::vector<NodeId> KhdnSystem::tracked_ids() const {
+  std::vector<NodeId> out;
+  out.reserve(caches_.size());
+  for (const auto& [id, store] : caches_) out.push_back(id);
+  return out;
+}
+
+std::string KhdnSystem::check_membership_consistency() const {
+  for (const auto& [id, store] : caches_) {
+    if (!space_.contains(id)) {
+      return "duty cache for non-member " + std::to_string(id.value);
+    }
+  }
+  for (const NodeId id : space_.member_ids()) {
+    if (!caches_.contains(id)) {
+      return "member " + std::to_string(id.value) + " has no duty cache";
+    }
+  }
+  return {};
+}
+
 void KhdnSystem::publish_now(NodeId id) {
   if (!provider_) return;
   auto record = provider_(id);

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -60,7 +61,16 @@ class KhdnSystem {
   void remove_node(NodeId id);
   [[nodiscard]] bool tracks(NodeId id) const { return caches_.contains(id); }
 
+  /// Note: materializes an empty cache for an untracked id (join path);
+  /// oracles must stick to tracked_ids().
   [[nodiscard]] index::RecordStore& cache(NodeId id);
+
+  /// Ids with a materialized duty cache, ascending (fuzz/diagnostics).
+  [[nodiscard]] std::vector<NodeId> tracked_ids() const;
+
+  /// Membership-consistency oracle (sim_fuzz): duty caches exist exactly
+  /// for the CAN member set.  Empty string when consistent.
+  [[nodiscard]] std::string check_membership_consistency() const;
 
   /// Publish `id`'s availability now (also periodic): route to the duty
   /// node, then K-hop negative spread.

@@ -37,14 +37,26 @@ std::string_view msg_type_name(MsgType t) {
 
 void TrafficStats::on_send(NodeId /*from*/, MsgType type, std::size_t bytes) {
   ++by_type_[static_cast<std::size_t>(type)];
+  ++in_flight_[static_cast<std::size_t>(type)];
+  bytes_ += bytes;
+}
+
+void TrafficStats::on_synthetic_send(NodeId /*from*/, MsgType type,
+                                     std::size_t bytes) {
+  ++by_type_[static_cast<std::size_t>(type)];
+  ++synthetic_[static_cast<std::size_t>(type)];
   bytes_ += bytes;
 }
 
 void TrafficStats::on_delivered(MsgType type) {
+  SOC_DCHECK(in_flight_[static_cast<std::size_t>(type)] > 0);
+  --in_flight_[static_cast<std::size_t>(type)];
   ++delivered_[static_cast<std::size_t>(type)];
 }
 
 void TrafficStats::on_lost(MsgType type) {
+  SOC_DCHECK(in_flight_[static_cast<std::size_t>(type)] > 0);
+  --in_flight_[static_cast<std::size_t>(type)];
   ++lost_[static_cast<std::size_t>(type)];
 }
 
@@ -73,6 +85,19 @@ std::uint64_t TrafficStats::total_lost() const {
   return std::accumulate(lost_.begin(), lost_.end(), std::uint64_t{0});
 }
 
+std::uint64_t TrafficStats::in_flight(MsgType type) const {
+  return in_flight_[static_cast<std::size_t>(type)];
+}
+
+std::uint64_t TrafficStats::total_in_flight() const {
+  return std::accumulate(in_flight_.begin(), in_flight_.end(),
+                         std::uint64_t{0});
+}
+
+std::uint64_t TrafficStats::synthetic(MsgType type) const {
+  return synthetic_[static_cast<std::size_t>(type)];
+}
+
 double TrafficStats::per_node_cost(std::size_t node_count) const {
   SOC_CHECK(node_count > 0);
   return static_cast<double>(total_sent()) / static_cast<double>(node_count);
@@ -82,6 +107,8 @@ void TrafficStats::reset() {
   by_type_.fill(0);
   delivered_.fill(0);
   lost_.fill(0);
+  in_flight_.fill(0);
+  synthetic_.fill(0);
   bytes_ = 0;
 }
 

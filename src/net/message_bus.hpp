@@ -45,6 +45,12 @@ class TrafficStats {
   void on_send(NodeId from, MsgType type, std::size_t bytes);
   void on_delivered(MsgType type);
   void on_lost(MsgType type);
+  /// Sent-side-only accounting charge with no simulated delivery (the
+  /// protocols bill join/leave maintenance traffic this way).  Counts
+  /// toward sent()/per_node_cost like a real send, but is tracked
+  /// separately so the conservation law stays exact:
+  ///   sent == delivered + lost + in_flight + synthetic, per type.
+  void on_synthetic_send(NodeId from, MsgType type, std::size_t bytes);
 
   [[nodiscard]] std::uint64_t sent(MsgType type) const;
   [[nodiscard]] std::uint64_t delivered(MsgType type) const;
@@ -53,6 +59,14 @@ class TrafficStats {
   [[nodiscard]] std::uint64_t total_delivered() const;
   [[nodiscard]] std::uint64_t total_lost() const;
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_; }
+
+  /// Messages sent but not yet resolved to delivered/lost.  Together with
+  /// the above this pins the per-type conservation law the sim_fuzz
+  /// harness asserts at every instant:
+  ///   sent == delivered + lost + in_flight + synthetic, per MsgType.
+  [[nodiscard]] std::uint64_t in_flight(MsgType type) const;
+  [[nodiscard]] std::uint64_t total_in_flight() const;
+  [[nodiscard]] std::uint64_t synthetic(MsgType type) const;
 
   /// Paper metric: messages sent/forwarded per node, averaged over the
   /// node population.
@@ -67,6 +81,8 @@ class TrafficStats {
   std::array<std::uint64_t, kTypes> by_type_{};
   std::array<std::uint64_t, kTypes> delivered_{};
   std::array<std::uint64_t, kTypes> lost_{};
+  std::array<std::uint64_t, kTypes> in_flight_{};
+  std::array<std::uint64_t, kTypes> synthetic_{};
   std::uint64_t bytes_ = 0;
 };
 

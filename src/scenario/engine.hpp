@@ -1,0 +1,52 @@
+// ScenarioEngine: replays a ScenarioSpec against a running Experiment.
+//
+// The engine owns its own RNG stream (forked by name from the simulator
+// root, so enabling it never perturbs the draws any existing component
+// sees) and drives every population change through the Experiment's public
+// scenario hooks — the same join/departure paths the built-in Poisson churn
+// takes, so flash crowds and mass failures exercise the identical overlay
+// maintenance, record re-homing and task-teardown machinery.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/rng.hpp"
+#include "src/core/experiment.hpp"
+#include "src/scenario/spec.hpp"
+
+namespace soc::scenario {
+
+class ScenarioEngine {
+ public:
+  ScenarioEngine(core::Experiment& ex, ScenarioSpec spec);
+
+  /// Schedule the whole spec on the experiment's simulator.  Called once
+  /// from Experiment::setup() (after the initial population exists).
+  void install();
+
+  /// Execution counters, for tests and fuzz-failure context.
+  struct Counters {
+    std::uint64_t churn_events = 0;   ///< phased-churn depart+join pairs
+    std::uint64_t burst_joins = 0;
+    std::uint64_t failure_kills = 0;
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+ private:
+  void schedule_phase_churn();
+  void schedule_bursts();
+  void schedule_failures();
+  void churn_tick();
+  void mass_failure(const MassFailure& f);
+  /// Victims of a spatial failure: the k members whose zone centers lie
+  /// closest to a random point of the protocol's CAN space; empty when the
+  /// protocol has no CAN space (caller falls back to a cohort kill).
+  [[nodiscard]] std::vector<NodeId> spatial_victims(std::size_t k);
+
+  core::Experiment& ex_;
+  ScenarioSpec spec_;
+  Rng rng_;
+  Counters counters_;
+};
+
+}  // namespace soc::scenario

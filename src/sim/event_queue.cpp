@@ -77,6 +77,22 @@ void EventQueue::sift_up(std::size_t pos, Entry e) {
   slots_[e.slot].heap_pos = static_cast<std::uint32_t>(pos);
 }
 
+bool EventQueue::verify_integrity() const {
+  if (slots_.live() != heap_.size()) return false;
+  std::vector<bool> seen(slots_.slots(), false);
+  for (std::size_t i = 0; i < heap_.size(); ++i) {
+    const Entry& e = heap_[i];
+    if (e.slot >= slots_.slots()) return false;
+    if (seen[e.slot]) return false;  // one slot referenced twice
+    seen[e.slot] = true;
+    const Slot& s = slots_[e.slot];
+    if ((s.gen & 1u) == 0) return false;  // heap points at a freed slot
+    if (s.heap_pos != i) return false;    // stale back-pointer
+    if (i > 0 && e.before(heap_[(i - 1) / kArity])) return false;
+  }
+  return true;
+}
+
 void EventQueue::sift_down(std::size_t pos, Entry e) {
   const std::size_t n = heap_.size();
   for (;;) {

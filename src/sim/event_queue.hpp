@@ -66,6 +66,13 @@ class EventQueue {
   /// total scheduled — the stress tests assert on this.
   [[nodiscard]] std::size_t slab_slots() const { return slots_.slots(); }
 
+  /// Handle-generation / heap sanity oracle (sim_fuzz): every heap entry's
+  /// slot is live (odd generation) with a back-pointer to its heap
+  /// position, the heap order invariant holds for all parent/child pairs,
+  /// and the slab's live count equals the heap size — i.e. no leaked,
+  /// double-freed or aliased slots.  O(n); read-only.
+  [[nodiscard]] bool verify_integrity() const;
+
  private:
   /// 24-byte heap entry: the full sort key plus the owning slot, so sift
   /// comparisons stay inside the contiguous heap array.

@@ -49,6 +49,12 @@ class Simulator {
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 
+  /// Event-queue slab/heap sanity oracle (sim_fuzz); see
+  /// EventQueue::verify_integrity.
+  [[nodiscard]] bool verify_queue_integrity() const {
+    return queue_.verify_integrity();
+  }
+
  private:
   struct PeriodicState;
   void fire_periodic(std::shared_ptr<PeriodicState> state);

@@ -16,6 +16,14 @@ ResourceVector NodeGenerator::generate(Rng& rng) const {
   c[psm::kDisk] = config_.disk_gb[rng.pick_index(config_.disk_gb.size())];
   c[psm::kMemory] =
       config_.memory_mb[rng.pick_index(config_.memory_mb.size())];
+  if (config_.skewed()) {
+    const double roll = rng.uniform();
+    if (roll < config_.weak_fraction) {
+      c = c * config_.weak_scale;
+    } else if (roll < config_.weak_fraction + config_.strong_fraction) {
+      c = c * config_.strong_scale;
+    }
+  }
   return c;
 }
 

@@ -20,6 +20,21 @@ struct NodeGenConfig {
   std::array<double, 4> disk_gb{20, 60, 120, 240};
   double net_lo = 5.0;   ///< node network capacity: its LAN rate, 5–10 Mbps
   double net_hi = 10.0;
+
+  /// Optional population heterogeneity (set by the scenario layer's
+  /// CapacitySkew): each generated capacity vector is scaled whole by
+  /// weak_scale with probability weak_fraction, by strong_scale with
+  /// probability strong_fraction, else left at Table I values.  When
+  /// disabled (the default) generate() draws exactly the same RNG sequence
+  /// as before the knob existed, so default trajectories are unchanged.
+  double weak_fraction = 0.0;
+  double weak_scale = 1.0;
+  double strong_fraction = 0.0;
+  double strong_scale = 1.0;
+
+  [[nodiscard]] bool skewed() const {
+    return weak_fraction > 0.0 || strong_fraction > 0.0;
+  }
 };
 
 class NodeGenerator {

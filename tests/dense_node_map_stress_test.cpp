@@ -1,0 +1,130 @@
+// Long-churn stress for DenseNodeMap: ids are never reused, so a heavily
+// churned map accumulates one vacant slot per departed node and iteration
+// walks O(max id), not O(live).  This suite pins the exact costs (the
+// ROADMAP open item) and the correctness properties that must survive
+// them.
+//
+// Quantified on this container (512 live, 100k churn events):
+//   * slot_span grows to live + churn_events (one optional<T> slot per
+//     departed id is retained — with T = 8 bytes that is 16 bytes/slot of
+//     permanent growth on this ABI);
+//   * iteration visits every slot ever allocated: ~196 slots scanned per
+//     live element at the end vs 1.0 at the start — the O(max id) cost is
+//     real but linear-scan cheap (sub-millisecond per full pass at 100k
+//     slots), consistent with ROADMAP's "only bites at --full-scale
+//     multi-day churn" judgement.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "src/common/dense_node_map.hpp"
+#include "src/common/rng.hpp"
+
+namespace soc {
+namespace {
+
+constexpr std::size_t kLive = 512;
+constexpr std::size_t kChurnEvents = 100000;
+
+TEST(DenseNodeMapStress, LongChurnAccountingStaysExact) {
+  DenseNodeMap<std::uint64_t> map;
+  Rng rng(20260729);
+  std::vector<NodeId> live;
+  std::uint32_t next_id = 0;
+
+  for (std::size_t i = 0; i < kLive; ++i) {
+    map.emplace(NodeId(next_id), next_id * 7ull);
+    live.push_back(NodeId(next_id));
+    ++next_id;
+  }
+  EXPECT_EQ(map.slot_span(), kLive);  // dense while nothing departed
+
+  for (std::size_t step = 0; step < kChurnEvents; ++step) {
+    // Depart a random live node, join a fresh one (stable population).
+    const std::size_t idx = rng.pick_index(live.size());
+    ASSERT_TRUE(map.erase(live[idx]));
+    EXPECT_FALSE(map.contains(live[idx]));
+    EXPECT_FALSE(map.erase(live[idx]));  // double-erase is a clean no-op
+    live[idx] = NodeId(next_id);
+    map.emplace(NodeId(next_id), next_id * 7ull);
+    ++next_id;
+  }
+
+  // Exact occupancy accounting after heavy churn.
+  EXPECT_EQ(map.size(), kLive);
+  EXPECT_EQ(map.slot_span(), kLive + kChurnEvents);
+
+  // Iteration yields exactly the live set, ascending, values intact.
+  std::vector<NodeId> seen;
+  for (const auto& [id, v] : map) {
+    EXPECT_EQ(v, id.value * 7ull);
+    seen.push_back(id);
+  }
+  std::vector<NodeId> expected = live;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+  EXPECT_EQ(seen, expected);
+
+  // Vacant slots of departed ids stay dead: find() is null for every id
+  // that ever lived and departed (spot-check a sample).
+  for (std::uint32_t probe = 0; probe < next_id; probe += 97) {
+    const bool is_live = std::binary_search(expected.begin(), expected.end(),
+                                            NodeId(probe));
+    EXPECT_EQ(map.find(NodeId(probe)) != nullptr, is_live)
+        << "slot " << probe;
+  }
+}
+
+TEST(DenseNodeMapStress, IterationCostTracksSlotSpanNotLiveCount) {
+  // The quantification behind the ROADMAP note: measure slots scanned per
+  // live element before and after churn (a deterministic proxy for the
+  // iteration cost; wall-clock is printed informationally, not asserted —
+  // CI machines are noisy).
+  DenseNodeMap<std::uint64_t> map;
+  Rng rng(7);
+  std::vector<NodeId> live;
+  std::uint32_t next_id = 0;
+  for (std::size_t i = 0; i < kLive; ++i) {
+    map.emplace(NodeId(next_id), 1);
+    live.push_back(NodeId(next_id++));
+  }
+
+  const auto time_pass = [&map] {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t sum = 0;
+    for (const auto& [id, v] : map) sum += v + id.value;
+    const std::chrono::duration<double, std::micro> dt =
+        std::chrono::steady_clock::now() - t0;
+    return std::pair(sum, dt.count());
+  };
+
+  const auto [sum_before, us_before] = time_pass();
+  for (std::size_t step = 0; step < kChurnEvents; ++step) {
+    const std::size_t idx = rng.pick_index(live.size());
+    map.erase(live[idx]);
+    live[idx] = NodeId(next_id);
+    map.emplace(NodeId(next_id++), 1);
+  }
+  const auto [sum_after, us_after] = time_pass();
+
+  const double scanned_per_live_before =
+      static_cast<double>(kLive) / static_cast<double>(kLive);
+  const double scanned_per_live_after =
+      static_cast<double>(map.slot_span()) / static_cast<double>(map.size());
+  EXPECT_DOUBLE_EQ(scanned_per_live_before, 1.0);
+  // 100k churn over 512 live → ~196 slots walked per live element.
+  EXPECT_NEAR(scanned_per_live_after, 196.3, 1.0);
+
+  std::printf(
+      "dense-map churn: slot_span %zu live %zu (%.1f slots/live); full "
+      "iteration %.1f us before churn, %.1f us after\n",
+      map.slot_span(), map.size(), scanned_per_live_after, us_before,
+      us_after);
+  // Keep the optimizer honest about the timed loops.
+  EXPECT_GT(sum_before + sum_after, 0u);
+}
+
+}  // namespace
+}  // namespace soc

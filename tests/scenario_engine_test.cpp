@@ -1,0 +1,159 @@
+// Unit coverage for the scenario layer: spec opt-in semantics, randomized
+// spec determinism, capacity skew wiring through the workload generator,
+// and the engine's population effects (bursts, mass failures, phased
+// churn) — each checked against the global invariant set after the run.
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.hpp"
+#include "src/scenario/engine.hpp"
+#include "src/scenario/invariants.hpp"
+#include "src/scenario/spec.hpp"
+#include "src/workload/generator.hpp"
+
+namespace soc {
+namespace {
+
+core::ExperimentConfig base_config() {
+  core::ExperimentConfig c;
+  c.protocol = core::ProtocolKind::kHidCan;
+  c.nodes = 32;
+  c.duration = seconds(1800);
+  c.sample_step = seconds(600);
+  c.seed = 11;
+  return c;
+}
+
+void expect_invariants_hold(core::Experiment& ex) {
+  Rng rng(404);
+  const scenario::InvariantReport report =
+      scenario::check_invariants(ex, rng);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(ScenarioSpec, DefaultIsDisabled) {
+  EXPECT_FALSE(core::ExperimentConfig{}.scenario.enabled());
+  EXPECT_FALSE(scenario::ScenarioSpec{}.enabled());
+  EXPECT_EQ(scenario::ScenarioSpec{}.describe(), "scenario{off}");
+}
+
+TEST(ScenarioSpec, RandomSpecIsDeterministicInSeed) {
+  Rng a(77);
+  Rng b(77);
+  for (int i = 0; i < 20; ++i) {
+    const auto sa = scenario::random_spec(a, seconds(2000));
+    const auto sb = scenario::random_spec(b, seconds(2000));
+    EXPECT_EQ(sa.describe(), sb.describe()) << "draw " << i;
+  }
+}
+
+TEST(ScenarioSpec, ChurnDegreeFollowsPhases) {
+  scenario::ScenarioSpec spec;
+  spec.phases.push_back({seconds(0), 0.5});
+  spec.phases.push_back({seconds(100), 0.0});
+  spec.phases.push_back({seconds(200), 1.0});
+  EXPECT_DOUBLE_EQ(spec.churn_degree_at(seconds(50)), 0.5);
+  EXPECT_DOUBLE_EQ(spec.churn_degree_at(seconds(150)), 0.0);
+  EXPECT_DOUBLE_EQ(spec.churn_degree_at(seconds(250)), 1.0);
+}
+
+TEST(CapacitySkew, ScalesGeneratedVectorsWithoutPerturbingBaseDraws) {
+  workload::NodeGenConfig plain_cfg;
+  workload::NodeGenConfig weak_cfg;
+  scenario::CapacitySkew skew;
+  skew.weak_fraction = 1.0;  // every draw lands in the weak band
+  skew.weak_scale = 0.5;
+  skew.apply(weak_cfg);
+  ASSERT_TRUE(weak_cfg.skewed());
+  ASSERT_FALSE(plain_cfg.skewed());
+
+  // For one vector from the same seed, the base table picks are
+  // byte-identical and only the final scale differs — the skew roll comes
+  // after all base draws.  (The roll does advance the stream, so each
+  // comparison starts from a fresh seed.)
+  workload::NodeGenerator plain(plain_cfg);
+  workload::NodeGenerator weak(weak_cfg);
+  for (int i = 0; i < 50; ++i) {
+    Rng rng_a(static_cast<std::uint64_t>(i) + 5);
+    Rng rng_b(static_cast<std::uint64_t>(i) + 5);
+    const ResourceVector p = plain.generate(rng_a);
+    const ResourceVector w = weak.generate(rng_b);
+    for (std::size_t k = 0; k < p.size(); ++k) {
+      EXPECT_DOUBLE_EQ(w[k], 0.5 * p[k]) << "dim " << k << " draw " << i;
+    }
+  }
+}
+
+TEST(ScenarioEngine, JoinBurstGrowsThePopulation) {
+  core::ExperimentConfig cfg = base_config();
+  scenario::JoinBurst burst;
+  burst.at = seconds(600);
+  burst.joins = 12;
+  burst.spread = seconds(60);
+  cfg.scenario.bursts.push_back(burst);
+
+  core::Experiment ex(cfg);
+  ex.setup();
+  ex.run();
+  ASSERT_NE(ex.scenario_engine(), nullptr);
+  EXPECT_EQ(ex.scenario_engine()->counters().burst_joins, 12u);
+  EXPECT_EQ(ex.alive_nodes(), cfg.nodes + 12);
+  expect_invariants_hold(ex);
+}
+
+TEST(ScenarioEngine, MassFailureShrinksThePopulation) {
+  for (const bool spatial : {false, true}) {
+    core::ExperimentConfig cfg = base_config();
+    scenario::MassFailure fail;
+    fail.at = seconds(900);
+    fail.fraction = 0.5;
+    fail.spatial = spatial;
+    cfg.scenario.failures.push_back(fail);
+
+    core::Experiment ex(cfg);
+    ex.setup();
+    ex.run();
+    ASSERT_NE(ex.scenario_engine(), nullptr);
+    EXPECT_EQ(ex.scenario_engine()->counters().failure_kills, cfg.nodes / 2)
+        << (spatial ? "spatial" : "cohort");
+    EXPECT_EQ(ex.alive_nodes(), cfg.nodes - cfg.nodes / 2);
+    expect_invariants_hold(ex);
+  }
+}
+
+TEST(ScenarioEngine, PhasedChurnRunsOnlyInChurningPhases) {
+  core::ExperimentConfig cfg = base_config();
+  // Churn hard for the first half, then go calm.
+  cfg.scenario.phases.push_back({seconds(0), 1.0});
+  cfg.scenario.phases.push_back({cfg.duration / 2, 0.0});
+
+  core::Experiment ex(cfg);
+  ex.setup();
+  ex.run();
+  ASSERT_NE(ex.scenario_engine(), nullptr);
+  // dd=1.0 over half the run at one churn window per 3000 s ≈ ~9–10
+  // depart+join pairs in expectation; just require the chain clearly ran.
+  EXPECT_GT(ex.scenario_engine()->counters().churn_events, 2u);
+  // Departures are matched by joins, so the population is stable.
+  EXPECT_EQ(ex.alive_nodes(), cfg.nodes);
+  expect_invariants_hold(ex);
+}
+
+TEST(ScenarioEngine, ScenarioRunsAreDeterministic) {
+  core::ExperimentConfig cfg = base_config();
+  cfg.scenario.phases.push_back({seconds(0), 0.8});
+  cfg.scenario.bursts.push_back({seconds(300), 8, seconds(120)});
+  cfg.scenario.failures.push_back({seconds(1200), 0.3, true});
+  cfg.scenario.skew.weak_fraction = 0.3;
+  cfg.scenario.skew.weak_scale = 0.6;
+
+  const core::ExperimentResults a = core::run_experiment(cfg);
+  const core::ExperimentResults b = core::run_experiment(cfg);
+  EXPECT_EQ(a.generated, b.generated);
+  EXPECT_EQ(a.finished, b.finished);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.total_messages, b.total_messages);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+}
+
+}  // namespace
+}  // namespace soc
