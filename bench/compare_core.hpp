@@ -14,6 +14,17 @@
 // Count-drift checking (the determinism tripwire) always compares against
 // the *most recent* same-seed history report: counts are exact, medians
 // are not meaningful for them.
+//
+// Besides bench_report's BENCH_*.json, this parser also accepts the sweep
+// subsystem's merged reports (src/sweep/merge.hpp): a merged sweep report
+// is BENCH-schema with "bench": "sweep", one experiment block per config
+// group ("name" = the group key, e.g. "HID-CAN/l0.50/n64"), summed
+// same-seed counts in "events"/"messages", and zeroed wall-clock rates —
+// merged reports are byte-deterministic across machines and worker counts,
+// so rates are meaningless there but the count tripwire is exact.  Extra
+// per-group keys (t_ratio_mean, f_ratio_ci95, ...) are simply ignored
+// here.  Comparing two merged reports of the same spec with
+// --check-counts=1 is a whole-grid trajectory gate.
 #pragma once
 
 #include <algorithm>
@@ -21,6 +32,8 @@
 #include <optional>
 #include <string>
 #include <vector>
+
+#include "src/common/json_mini.hpp"
 
 namespace soc::bench {
 
@@ -40,23 +53,8 @@ struct PerfReport {
   std::vector<PerfExperiment> experiments;
 };
 
-/// Extract the number following `"key": ` in text[from, to); nullopt when
-/// the key is absent there.  Bounding the search keeps a field missing
-/// from one experiment block from silently reading the next block's value.
-/// Tolerant of whitespace; enough JSON for our own schema.
-inline std::optional<double> find_number(const std::string& text,
-                                         const std::string& key,
-                                         std::size_t from,
-                                         std::size_t to = std::string::npos) {
-  const std::string needle = "\"" + key + "\":";
-  const std::size_t at = text.find(needle, from);
-  if (at == std::string::npos || at >= to) return std::nullopt;
-  const char* start = text.c_str() + at + needle.size();
-  char* end = nullptr;
-  const double v = std::strtod(start, &end);
-  if (end == start) return std::nullopt;
-  return v;
-}
+/// Bounded key lookup, shared with the sweep parser (src/common/json_mini).
+using json_mini::find_number;
 
 /// Parse one BENCH_*.json body.  Returns nullopt (and sets `err`) when no
 /// experiment block is found.

@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# Archive the current bench/BENCH_baseline.json into bench/history/ under
+# the next free index (BENCH_baseline_001.json, _002, ...).  Skips the
+# copy when the newest archive is already byte-identical, so re-running is
+# idempotent.  Invoked by the `archive_baseline` and `regen_goldens` CMake
+# targets; once >= 3 history files exist, the cmake configure step switches
+# bench_compare_gate to median-of-history trend mode at a 15% threshold
+# (see CMakeLists.txt).
+set -eu
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+baseline="$root/bench/BENCH_baseline.json"
+hist="$root/bench/history"
+
+[ -f "$baseline" ] || { echo "no $baseline to archive" >&2; exit 1; }
+mkdir -p "$hist"
+
+last=""
+i=1
+while [ -e "$hist/BENCH_baseline_$(printf '%03d' "$i").json" ]; do
+  last="$hist/BENCH_baseline_$(printf '%03d' "$i").json"
+  i=$((i + 1))
+done
+
+if [ -n "$last" ] && cmp -s "$baseline" "$last"; then
+  echo "baseline already archived as $last"
+  exit 0
+fi
+
+dest="$hist/BENCH_baseline_$(printf '%03d' "$i").json"
+cp "$baseline" "$dest"
+echo "archived $dest ($i total; trend gate activates at 3)"

@@ -1,10 +1,19 @@
 #!/usr/bin/env sh
-# CI driver for the three test lanes (mirrors the CMakePresets test
-# presets, for environments whose cmake predates presets):
+# CI driver for the test lanes (mirrors the CMakePresets test presets, for
+# environments whose cmake predates presets):
 #
-#   scripts/ci.sh unit      # fast lane: ctest -L unit (seconds)
+#   scripts/ci.sh unit      # fast lane: ctest -L unit (seconds) — includes
+#                           # the 2-worker sweep_smoke and example smokes
 #   scripts/ci.sh full      # tier-1: everything incl. the bench gate
 #   scripts/ci.sh nightly   # tier-1 + the 1000-schedule sim_fuzz lane
+#   scripts/ci.sh sweep     # the sweep lane alone (-L sweep): worker
+#                           # fan-out, kill-and-resume, byte-determinism
+#
+# Re-baseline bookkeeping: `cmake --build build --target archive_baseline`
+# copies bench/BENCH_baseline.json into bench/history/ (regen_goldens does
+# it automatically); once >= 3 history files exist the configure step run
+# here switches bench_compare_gate to --trend median-of-history gating at
+# a 15% threshold.
 #
 # Warnings are errors in every lane (SOC_WERROR=ON is the default).
 set -eu
@@ -20,6 +29,9 @@ case "$lane" in
   unit)
     ctest -L unit --output-on-failure -j8
     ;;
+  sweep)
+    ctest -L sweep --output-on-failure -j8
+    ;;
   full)
     ctest --output-on-failure -j8
     ;;
@@ -29,7 +41,7 @@ case "$lane" in
     ctest -C nightly --output-on-failure -j8
     ;;
   *)
-    echo "usage: scripts/ci.sh [unit|full|nightly]" >&2
+    echo "usage: scripts/ci.sh [unit|sweep|full|nightly]" >&2
     exit 2
     ;;
 esac

@@ -62,6 +62,20 @@ class Point {
   std::size_t size_ = 0;
 };
 
+/// Squared Euclidean distance between two points.  With `a` a cached zone
+/// center this is exactly Zone::center_distance_sq: the cache stores
+/// 0.5 * (lo + hi) per axis — the same expression — so the subtraction and
+/// sum are bit-identical to the uncached form.
+[[nodiscard]] inline double point_distance_sq(const Point& a, const Point& b) {
+  SOC_DCHECK(a.dims() == b.dims());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.dims(); ++i) {
+    const double g = b[i] - a[i];
+    sum += g * g;
+  }
+  return sum;
+}
+
 /// An axis-aligned box in the CAN space.
 class Zone {
  public:

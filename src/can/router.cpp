@@ -34,7 +34,7 @@ void step(const std::shared_ptr<RouteState>& st, NodeId at, std::size_t ttl) {
   // via the cached abutting-dimension metadata.
   NodeId best;
   double best_d = space.zone_of(at).distance_sq(st->target);
-  double best_c = space.zone_of(at).center_distance_sq(st->target);
+  double best_c = point_distance_sq(space.center_of(at), st->target);
   space.scan_neighbors_toward(at, st->target, best, best_d, best_c);
   if (!best.valid()) return;  // stalled (transient churn state)
   st->bus->send(at, best, st->type, st->bytes,

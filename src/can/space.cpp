@@ -82,7 +82,8 @@ Point CanSpace::join(NodeId id, std::optional<Point> point_hint) {
 
   if (!tree_.has_value()) {
     tree_.emplace(dims_, id);
-    members_.emplace(id, Member{Zone::unit(dims_), {}, {}});
+    const Zone unit = Zone::unit(dims_);
+    members_.emplace(id, Member{unit, unit.center(), {}, {}});
     notify_topology(id);
     return p;
   }
@@ -97,8 +98,9 @@ Point CanSpace::join(NodeId id, std::optional<Point> point_hint) {
 
   // Insert the joiner before touching the owner again: DenseNodeMap growth
   // invalidates outstanding references.
-  members_.emplace(id, Member{tree_->zone_of(id), {}, {}});
-  member(owner).zone = tree_->zone_of(owner);
+  const Zone joiner_zone = tree_->zone_of(id);
+  members_.emplace(id, Member{joiner_zone, joiner_zone.center(), {}, {}});
+  set_zone(member(owner), tree_->zone_of(owner));
 
   refresh_against(owner, candidates);
   candidates.push_back(id);  // not used against itself; harmless
@@ -150,7 +152,7 @@ void CanSpace::leave(NodeId id) {
   // Apply new zones, then refresh adjacency for all affected nodes against
   // the combined candidate pool.
   for (const NodeId a : affected) {
-    member(a).zone = tree_->zone_of(a);
+    set_zone(member(a), tree_->zone_of(a));
   }
   // The candidate pool (old neighborhoods of the departed node and of every
   // affected node) covers all adjacency pairs that can appear or disappear:
@@ -172,6 +174,8 @@ void CanSpace::leave(NodeId id) {
 }
 
 const Zone& CanSpace::zone_of(NodeId id) const { return member(id).zone; }
+
+const Point& CanSpace::center_of(NodeId id) const { return member(id).center; }
 
 NodeId CanSpace::owner_of(const Point& p) const {
   SOC_CHECK(tree_.has_value());
@@ -228,7 +232,8 @@ bool CanSpace::scan_neighbors_toward(NodeId from, const Point& target,
 bool CanSpace::consider_candidate_toward(NodeId cand, const Point& target,
                                          NodeId& best, double& best_d,
                                          double& best_c) const {
-  const Zone& z = member(cand).zone;
+  const Member& cm = member(cand);
+  const Zone& z = cm.zone;
   if (z.contains(target)) {
     best = cand;
     best_d = -1.0;
@@ -236,7 +241,7 @@ bool CanSpace::consider_candidate_toward(NodeId cand, const Point& target,
     return true;
   }
   const double d = z.distance_sq(target);
-  const double c = z.center_distance_sq(target);
+  const double c = point_distance_sq(cm.center, target);
   if (d < best_d || (d == best_d && c < best_c) ||
       (d == best_d && c == best_c && best.valid() && cand < best)) {
     best = cand;
@@ -257,7 +262,7 @@ NodeId CanSpace::next_hop(NodeId from, const Point& target) const {
   // The key strictly decreases every hop, so routing cannot cycle.
   NodeId best;  // invalid until a neighbor strictly improves on our zone
   double best_d = m.zone.distance_sq(target);
-  double best_c = m.zone.center_distance_sq(target);
+  double best_c = point_distance_sq(m.center, target);
   scan_neighbors_toward(from, target, best, best_d, best_c);
   SOC_CHECK_MSG(best.valid(), "greedy routing stalled");
   return best;
@@ -296,6 +301,7 @@ double CanSpace::total_volume() const {
 
 bool CanSpace::verify_adjacency_cache() const {
   for (const auto& [id, m] : members_) {
+    if (!(m.center == m.zone.center())) return false;
     if (m.links.size() != m.neighbors.size()) return false;
     for (std::size_t i = 0; i < m.links.size(); ++i) {
       const NeighborLink& l = m.links[i];

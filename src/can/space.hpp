@@ -71,6 +71,13 @@ class CanSpace {
   void leave(NodeId id);
 
   [[nodiscard]] const Zone& zone_of(NodeId id) const;
+
+  /// Cached center of `id`'s zone (== zone_of(id).center(), maintained on
+  /// every zone assignment).  Routing's plateau tie-break scores candidates
+  /// by center distance; the cache saves recomputing the center per
+  /// candidate per hop.
+  [[nodiscard]] const Point& center_of(NodeId id) const;
+
   [[nodiscard]] NodeId owner_of(const Point& p) const;
 
   /// Adjacent neighbors (paper definition), sorted by id.
@@ -150,12 +157,20 @@ class CanSpace {
   /// them, and verify_adjacency_cache() checks the lock-step invariant.
   struct Member {
     Zone zone;
+    Point center;                     // cached zone.center()
     std::vector<NodeId> neighbors;    // sorted by id
     std::vector<NeighborLink> links;  // parallel to `neighbors`
   };
 
   Member& member(NodeId id);
   [[nodiscard]] const Member& member(NodeId id) const;
+
+  /// The only way a member's zone may change: keeps the cached center in
+  /// lock-step (verified by verify_invariants).
+  static void set_zone(Member& m, const Zone& zone) {
+    m.zone = zone;
+    m.center = zone.center();
+  }
 
   /// Recompute adjacency between `id` and every candidate, updating both
   /// sides' sorted neighbor lists and cached metadata.

@@ -48,4 +48,57 @@ bool CliArgs::get_bool(const std::string& name, bool fallback) const {
   return it->second == "true" || it->second == "1" || it->second == "yes";
 }
 
+namespace {
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    if (comma > start) out.push_back(text.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> CliArgs::get_list(const std::string& name,
+                                           const std::string& fallback) const {
+  return split_csv(get(name, fallback));
+}
+
+std::optional<std::vector<double>> CliArgs::get_double_list(
+    const std::string& name, const std::string& fallback) const {
+  std::vector<double> out;
+  for (const std::string& s : get_list(name, fallback)) {
+    char* end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (end == s.c_str() || *end != '\0') {
+      std::fprintf(stderr, "--%s: '%s' is not a number\n", name.c_str(),
+                   s.c_str());
+      return std::nullopt;
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::optional<std::vector<std::size_t>> CliArgs::get_size_list(
+    const std::string& name, const std::string& fallback) const {
+  std::vector<std::size_t> out;
+  for (const std::string& s : get_list(name, fallback)) {
+    char* end = nullptr;
+    const long long v = std::strtoll(s.c_str(), &end, 10);
+    if (end == s.c_str() || *end != '\0' || v < 0) {
+      std::fprintf(stderr, "--%s: '%s' is not a non-negative integer\n",
+                   name.c_str(), s.c_str());
+      return std::nullopt;
+    }
+    out.push_back(static_cast<std::size_t>(v));
+  }
+  return out;
+}
+
 }  // namespace soc

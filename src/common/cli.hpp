@@ -4,7 +4,9 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
+#include <vector>
 
 namespace soc {
 
@@ -20,6 +22,20 @@ class CliArgs {
   [[nodiscard]] double get_double(const std::string& name,
                                   double fallback) const;
   [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  // Comma-separated list forms (sweep grids: --lambdas 0.3,0.5).  The
+  // fallback is given in the same comma-separated syntax; empty elements
+  // are skipped, so a trailing comma is harmless.  The numeric forms are
+  // strict — any element that does not parse in full (a ';' typo, a
+  // negative count, trailing junk) returns nullopt with a message on
+  // stderr, because a silently truncated grid axis would merge wrong
+  // sweep numbers.
+  [[nodiscard]] std::vector<std::string> get_list(
+      const std::string& name, const std::string& fallback) const;
+  [[nodiscard]] std::optional<std::vector<double>> get_double_list(
+      const std::string& name, const std::string& fallback) const;
+  [[nodiscard]] std::optional<std::vector<std::size_t>> get_size_list(
+      const std::string& name, const std::string& fallback) const;
 
  private:
   std::map<std::string, std::string> values_;

@@ -1,0 +1,70 @@
+// Minimal JSON field extraction shared by the perf-gate parser
+// (bench/compare_core.hpp) and the sweep shard/merged-report parser
+// (src/sweep/merge.cpp).  This is deliberately not a JSON library: every
+// schema we read is one we also write (BENCH_*.json, sweep shard results,
+// merged sweep reports), so bounded key lookups are enough and keep the
+// gate dependency-free.
+//
+// All lookups are bounded to [from, to): when a file holds an array of
+// per-experiment/per-cell blocks, bounding the search at the next block's
+// sentinel key keeps a field missing from one block from silently reading
+// the next block's value.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+namespace soc::json_mini {
+
+/// Extract the number following `"key": ` in text[from, to); nullopt when
+/// the key is absent there.  Tolerant of whitespace; enough JSON for our
+/// own schemas.
+inline std::optional<double> find_number(const std::string& text,
+                                         const std::string& key,
+                                         std::size_t from,
+                                         std::size_t to = std::string::npos) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle, from);
+  if (at == std::string::npos || at >= to) return std::nullopt;
+  const char* start = text.c_str() + at + needle.size();
+  char* end = nullptr;
+  const double v = std::strtod(start, &end);
+  if (end == start) return std::nullopt;
+  return v;
+}
+
+/// Like find_number, but parsed as an exact unsigned 64-bit integer —
+/// doubles silently round above 2^53, which would corrupt 64-bit seeds
+/// (and, in principle, large event counts) on a shard-file round-trip.
+inline std::optional<std::uint64_t> find_uint64(
+    const std::string& text, const std::string& key, std::size_t from,
+    std::size_t to = std::string::npos) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle, from);
+  if (at == std::string::npos || at >= to) return std::nullopt;
+  const char* start = text.c_str() + at + needle.size();
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(start, &end, 10);
+  if (end == start) return std::nullopt;
+  return v;
+}
+
+/// Extract the string following `"key": "` in text[from, to).  No escape
+/// handling: our writers never emit quotes or backslashes inside values.
+inline std::optional<std::string> find_string(
+    const std::string& text, const std::string& key, std::size_t from,
+    std::size_t to = std::string::npos) {
+  const std::string needle = "\"" + key + "\": \"";
+  const std::size_t at = text.find(needle, from);
+  if (at == std::string::npos || at >= to) return std::nullopt;
+  const std::size_t start = at + needle.size();
+  const std::size_t end = text.find('"', start);
+  if (end == std::string::npos || (to != std::string::npos && end >= to)) {
+    return std::nullopt;
+  }
+  return text.substr(start, end - start);
+}
+
+}  // namespace soc::json_mini

@@ -67,6 +67,26 @@ double percentile(std::vector<double> values, double p) {
   return values[lo] + frac * (values[hi] - values[lo]);
 }
 
+double median(std::vector<double> values) {
+  return percentile(std::move(values), 50.0);
+}
+
+double student_t95(std::size_t dof) {
+  // Two-sided 95% critical values, dof 1..30; the normal limit beyond.
+  static constexpr double kTable[30] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (dof == 0) return 0.0;
+  if (dof <= 30) return kTable[dof - 1];
+  return 1.960;
+}
+
+double mean_ci95_halfwidth(std::size_t n, double stddev) {
+  if (n < 2) return 0.0;
+  return student_t95(n - 1) * stddev / std::sqrt(static_cast<double>(n));
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
       counts_(bins, 0) {

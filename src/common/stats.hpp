@@ -40,6 +40,19 @@ double jain_fairness(std::span<const double> values);
 /// Percentile of a copy of the data (p in [0,100], linear interpolation).
 double percentile(std::vector<double> values, double p);
 
+/// Median of a copy of the data (percentile 50).
+double median(std::vector<double> values);
+
+/// Two-sided 95% Student-t critical value for `dof` degrees of freedom
+/// (table for 1..30, the large-sample normal limit above; dof 0 returns 0).
+double student_t95(std::size_t dof);
+
+/// Half-width of the 95% confidence interval of the mean of `n` samples
+/// with sample standard deviation `stddev`: t_{0.975, n-1} * s / sqrt(n).
+/// Returns 0 for n < 2 (a single repeat has no interval) — the sweep
+/// merger's per-config CI across repeat seeds.
+double mean_ci95_halfwidth(std::size_t n, double stddev);
+
 /// Fixed-width histogram over [lo, hi) with `bins` buckets; values outside
 /// clamp into the edge buckets.
 class Histogram {

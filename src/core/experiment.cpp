@@ -1,6 +1,7 @@
 #include "src/core/experiment.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <limits>
 
@@ -30,6 +31,25 @@ std::string protocol_name(ProtocolKind kind) {
       return "KHDN-CAN";
   }
   return "?";
+}
+
+std::optional<ProtocolKind> protocol_from_name(const std::string& name) {
+  const auto canon = [](const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '_' || c == '-' || c == '+') {
+        out += '-';
+      } else {
+        out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+    }
+    return out;
+  };
+  const std::string want = canon(name);
+  for (const ProtocolKind kind : kAllProtocols) {
+    if (canon(protocol_name(kind)) == want) return kind;
+  }
+  return std::nullopt;
 }
 
 // Lifecycle context for one submitted task.

@@ -5,7 +5,9 @@
 // — plus node churn, and reports the paper's metrics.
 #pragma once
 
+#include <array>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -41,6 +43,21 @@ enum class ProtocolKind : std::uint8_t {
 };
 
 [[nodiscard]] std::string protocol_name(ProtocolKind kind);
+
+/// All protocol kinds in declaration order (sweep grids, CLI help).
+inline constexpr std::array<ProtocolKind, 7> kAllProtocols{
+    ProtocolKind::kSidCan,    ProtocolKind::kHidCan,
+    ProtocolKind::kSidCanSos, ProtocolKind::kHidCanSos,
+    ProtocolKind::kSidCanVd,  ProtocolKind::kNewscast,
+    ProtocolKind::kKhdnCan};
+
+/// Inverse of protocol_name.  Accepts the exact display name ("HID-CAN")
+/// and a shell-friendly lowercase alias with '_' or '-' for the '+'
+/// ("hid-can+sos" == "hid_can_sos").  nullopt for unknown names — sweep
+/// specs must fail loudly, a shard silently running the wrong protocol
+/// would merge wrong numbers.
+[[nodiscard]] std::optional<ProtocolKind> protocol_from_name(
+    const std::string& name);
 
 /// What happens to tasks running on a host that churns out of the overlay.
 enum class ChurnTaskPolicy : std::uint8_t {

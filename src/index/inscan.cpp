@@ -170,7 +170,7 @@ void IndexSystem::route_step(NodeId at, std::size_t ttl,
   // finger scan (no finger can displace a zone that owns the target).
   NodeId best;
   double best_d = space_.zone_of(at).distance_sq(target);
-  double best_c = space_.zone_of(at).center_distance_sq(target);
+  double best_c = can::point_distance_sq(space_.center_of(at), target);
   const bool contained =
       space_.scan_neighbors_toward(at, target, best, best_d, best_c);
   if (!contained && config_.long_link_routing && state_.contains(at)) {

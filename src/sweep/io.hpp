@@ -1,0 +1,19 @@
+// Small file-IO helpers shared by the sweep subsystem (shard results,
+// manifest, merged report).
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace soc::sweep {
+
+/// Write `content` to `path` via tmp-file + rename, so readers (and a
+/// resuming orchestrator) only ever see absent or complete files — a
+/// worker killed mid-write leaves no torn result.  Returns false on I/O
+/// error.
+bool write_atomic(const std::string& path, const std::string& content);
+
+/// Whole file as a string; nullopt when unreadable.
+[[nodiscard]] std::optional<std::string> read_file(const std::string& path);
+
+}  // namespace soc::sweep

@@ -1,0 +1,160 @@
+#include "src/sweep/merge.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "src/common/stats.hpp"
+#include "src/sweep/io.hpp"
+
+namespace soc::sweep {
+
+std::optional<MergedReport> merge_shards(const std::string& dir,
+                                         const SweepSpec& spec,
+                                         std::size_t shards_total,
+                                         std::string* err) {
+  const SweepSpec norm = spec.normalized();
+  const std::uint64_t fp = norm.fingerprint();
+  const std::vector<Shard> shards = partition(norm, shards_total);
+
+  MergedReport report;
+  report.spec_fingerprint = fp;
+  report.shards_total = shards_total;
+  for (const Shard& shard : shards) {
+    const auto result = read_shard_result(shard_path(dir, shard.id));
+    if (!result.has_value() ||
+        !shard_result_valid(*result, shard, fp, shards_total)) {
+      if (err != nullptr) {
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "shard %zu missing or invalid in %s", shard.id,
+                      dir.c_str());
+        *err = buf;
+      }
+      return std::nullopt;
+    }
+    for (const CellResult& c : result->cells) report.cells.push_back(c);
+  }
+
+  // Canonical order: shard layout must not leak into the merged bytes.
+  std::sort(report.cells.begin(), report.cells.end(),
+            [](const CellResult& a, const CellResult& b) {
+              return a.key < b.key;
+            });
+
+  // Group by `group` preserving first-appearance order of the sorted cells
+  // (i.e. the normalized grid order, repeats collapsed).
+  std::map<std::string, std::size_t> index_of;
+  std::vector<std::vector<const CellResult*>> buckets;
+  std::vector<std::string> order;
+  for (const CellResult& c : report.cells) {
+    const auto [it, inserted] = index_of.emplace(c.group, buckets.size());
+    if (inserted) {
+      buckets.emplace_back();
+      order.push_back(c.group);
+    }
+    buckets[it->second].push_back(&c);
+  }
+
+  for (std::size_t g = 0; g < buckets.size(); ++g) {
+    GroupStats s;
+    s.group = order[g];
+    s.repeats = buckets[g].size();
+    RunningStats t, f, fair, mpn, delay;
+    std::vector<double> ts, fs;
+    for (const CellResult* c : buckets[g]) {
+      t.add(c->t_ratio);
+      f.add(c->f_ratio);
+      fair.add(c->fairness);
+      mpn.add(c->msgs_per_node);
+      delay.add(c->avg_query_delay_s);
+      ts.push_back(c->t_ratio);
+      fs.push_back(c->f_ratio);
+      s.generated += c->generated;
+      s.finished += c->finished;
+      s.failed += c->failed;
+      s.events += c->events;
+      s.messages += c->messages;
+    }
+    s.t_ratio_mean = t.mean();
+    s.t_ratio_median = median(ts);
+    s.t_ratio_ci95 = mean_ci95_halfwidth(t.count(), t.stddev());
+    s.f_ratio_mean = f.mean();
+    s.f_ratio_median = median(fs);
+    s.f_ratio_ci95 = mean_ci95_halfwidth(f.count(), f.stddev());
+    s.fairness_mean = fair.mean();
+    s.fairness_ci95 = mean_ci95_halfwidth(fair.count(), fair.stddev());
+    s.msgs_per_node_mean = mpn.mean();
+    s.avg_query_delay_s_mean = delay.mean();
+    report.groups.push_back(std::move(s));
+  }
+  return report;
+}
+
+bool write_merged_report(const std::string& path, const SweepSpec& spec,
+                         const MergedReport& report) {
+  const SweepSpec norm = spec.normalized();
+  std::string out = "{\n  \"bench\": \"sweep\",\n";
+  char buf[768];
+  // BENCH-schema header.  nodes/hours let bench_compare verify two merged
+  // reports describe comparable runs; nodes is 0 because the grid spans
+  // several populations (the spec string carries the real axes).
+  std::snprintf(buf, sizeof(buf),
+                "  \"nodes\": 0,\n  \"hours\": %.3f,\n  \"seed\": %llu,\n"
+                "  \"full\": false,\n",
+                norm.hours, static_cast<unsigned long long>(norm.base_seed));
+  out += buf;
+  out += "  \"spec\": \"" + norm.describe() + "\",\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"spec_fingerprint\": \"%016llx\",\n"
+                "  \"shards_total\": %zu,\n  \"cells\": %zu,\n",
+                static_cast<unsigned long long>(report.spec_fingerprint),
+                report.shards_total, report.cells.size());
+  out += buf;
+  out += "  \"experiments\": [";
+  for (std::size_t i = 0; i < report.groups.size(); ++i) {
+    const GroupStats& s = report.groups[i];
+    // Zeroed wall/rate fields: deterministic bytes, schema-compatible with
+    // bench_compare (which treats a 0 baseline rate as ratio 1.0).
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s\n    { \"name\": \"%s\", \"wall_seconds\": 0,\n"
+        "      \"events\": %llu, \"events_per_sec\": 0,\n"
+        "      \"messages\": %llu, \"messages_per_sec\": 0,\n"
+        "      \"repeats\": %zu,\n"
+        "      \"t_ratio_mean\": %.9g, \"t_ratio_median\": %.9g, "
+        "\"t_ratio_ci95\": %.9g,\n"
+        "      \"f_ratio_mean\": %.9g, \"f_ratio_median\": %.9g, "
+        "\"f_ratio_ci95\": %.9g,\n"
+        "      \"fairness_mean\": %.9g, \"fairness_ci95\": %.9g,\n"
+        "      \"msgs_per_node_mean\": %.9g, "
+        "\"avg_query_delay_s_mean\": %.9g,\n"
+        "      \"generated\": %llu, \"finished\": %llu, \"failed\": %llu }",
+        i > 0 ? "," : "", s.group.c_str(),
+        static_cast<unsigned long long>(s.events),
+        static_cast<unsigned long long>(s.messages), s.repeats, s.t_ratio_mean,
+        s.t_ratio_median, s.t_ratio_ci95, s.f_ratio_mean, s.f_ratio_median,
+        s.f_ratio_ci95, s.fairness_mean, s.fairness_ci95, s.msgs_per_node_mean,
+        s.avg_query_delay_s_mean, static_cast<unsigned long long>(s.generated),
+        static_cast<unsigned long long>(s.finished),
+        static_cast<unsigned long long>(s.failed));
+    out += buf;
+  }
+  out += "\n  ]\n}\n";
+  return write_atomic(path, out);
+}
+
+void print_merged_table(const MergedReport& report) {
+  std::printf("\n## merged sweep (%zu cells, %zu groups, %zu shards)\n",
+              report.cells.size(), report.groups.size(), report.shards_total);
+  std::printf("%-34s %4s %18s %18s %9s %12s\n", "config", "rep",
+              "T-Ratio (±95%)", "F-Ratio (±95%)", "fairness", "msgs/node");
+  for (const GroupStats& s : report.groups) {
+    std::printf("%-34s %4zu %9.3f ±%6.3f %9.3f ±%6.3f %9.3f %12.0f\n",
+                s.group.c_str(), s.repeats, s.t_ratio_mean, s.t_ratio_ci95,
+                s.f_ratio_mean, s.f_ratio_ci95, s.fairness_mean,
+                s.msgs_per_node_mean);
+  }
+}
+
+}  // namespace soc::sweep

@@ -1,0 +1,323 @@
+#include "src/sweep/runner.hpp"
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+#include "src/common/json_mini.hpp"
+#include "src/sweep/io.hpp"
+
+namespace soc::sweep {
+
+ShardResult run_shard(const Shard& shard, std::uint64_t spec_fingerprint,
+                      std::size_t shards_total) {
+  ShardResult result;
+  result.spec_fingerprint = spec_fingerprint;
+  result.shard_id = shard.id;
+  result.shards_total = shards_total;
+  result.cells.reserve(shard.cells.size());
+  for (const SweepCell& cell : shard.cells) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const core::ExperimentResults r = core::run_experiment(cell.config);
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    CellResult out;
+    out.key = cell.key;
+    out.group = cell.group;
+    out.seed = cell.config.seed;
+    out.t_ratio = r.t_ratio;
+    out.f_ratio = r.f_ratio;
+    out.fairness = r.fairness;
+    out.msgs_per_node = r.msg_cost_per_node;
+    out.avg_query_delay_s = r.avg_query_delay_s;
+    out.generated = r.generated;
+    out.finished = r.finished;
+    out.failed = r.failed;
+    out.events = r.events_executed;
+    out.messages = r.total_messages;
+    out.messages_delivered = r.messages_delivered;
+    out.messages_lost = r.messages_lost;
+    out.wall_seconds = dt.count();
+    result.cells.push_back(std::move(out));
+  }
+  return result;
+}
+
+bool write_shard_result(const std::string& dir, const ShardResult& result) {
+  std::string out = "{\n  \"sweep_shard\": 1,\n";
+  // Sized with ample headroom: a paper-scale cell line with full-width
+  // %.17g metrics and a long key measures ~530 bytes.  Truncation is
+  // checked anyway — a torn cell line would make the shard file
+  // permanently invalid (and the sweep unable to ever complete) while the
+  // worker reports success.
+  char buf[2048];
+  int n = std::snprintf(buf, sizeof(buf),
+                        "  \"spec_fingerprint\": \"%016llx\",\n"
+                        "  \"shard\": %zu,\n  \"shards_total\": %zu,\n",
+                        static_cast<unsigned long long>(
+                            result.spec_fingerprint),
+                        result.shard_id, result.shards_total);
+  if (n < 0 || static_cast<std::size_t>(n) >= sizeof(buf)) return false;
+  out += buf;
+  out += "  \"cells\": [";
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    const CellResult& c = result.cells[i];
+    // %.17g round-trips doubles exactly through strtod, so stats computed
+    // from a parsed shard file equal stats computed from the in-memory
+    // results — a prerequisite for byte-identical merges.
+    n = std::snprintf(
+        buf, sizeof(buf),
+        "%s\n    { \"key\": \"%s\", \"group\": \"%s\", \"seed\": %llu,\n"
+        "      \"t_ratio\": %.17g, \"f_ratio\": %.17g, \"fairness\": %.17g,\n"
+        "      \"msgs_per_node\": %.17g, \"avg_query_delay_s\": %.17g,\n"
+        "      \"generated\": %llu, \"finished\": %llu, \"failed\": %llu,\n"
+        "      \"events\": %llu, \"messages\": %llu,\n"
+        "      \"delivered\": %llu, \"lost\": %llu,\n"
+        "      \"wall_seconds\": %.6f }",
+        i > 0 ? "," : "", c.key.c_str(), c.group.c_str(),
+        static_cast<unsigned long long>(c.seed), c.t_ratio, c.f_ratio,
+        c.fairness, c.msgs_per_node, c.avg_query_delay_s,
+        static_cast<unsigned long long>(c.generated),
+        static_cast<unsigned long long>(c.finished),
+        static_cast<unsigned long long>(c.failed),
+        static_cast<unsigned long long>(c.events),
+        static_cast<unsigned long long>(c.messages),
+        static_cast<unsigned long long>(c.messages_delivered),
+        static_cast<unsigned long long>(c.messages_lost), c.wall_seconds);
+    if (n < 0 || static_cast<std::size_t>(n) >= sizeof(buf)) return false;
+    out += buf;
+  }
+  out += "\n  ]\n}\n";
+  return write_atomic(shard_path(dir, result.shard_id), out);
+}
+
+std::optional<ShardResult> read_shard_result(const std::string& path) {
+  const auto text = read_file(path);
+  if (!text.has_value()) return std::nullopt;
+  using json_mini::find_number;
+  using json_mini::find_string;
+  if (!find_number(*text, "sweep_shard", 0).has_value()) return std::nullopt;
+  ShardResult r;
+  const auto fp = find_string(*text, "spec_fingerprint", 0);
+  const auto shard = find_number(*text, "shard", 0);
+  const auto total = find_number(*text, "shards_total", 0);
+  if (!fp.has_value() || !shard.has_value() || !total.has_value()) {
+    return std::nullopt;
+  }
+  r.spec_fingerprint = std::strtoull(fp->c_str(), nullptr, 16);
+  r.shard_id = static_cast<std::size_t>(*shard);
+  r.shards_total = static_cast<std::size_t>(*total);
+
+  const std::string needle = "\"key\": \"";
+  std::size_t pos = text->find("\"cells\":");
+  if (pos == std::string::npos) return std::nullopt;
+  pos = text->find(needle, pos);
+  while (pos != std::string::npos) {
+    std::size_t block_end = text->find(needle, pos + needle.size());
+    if (block_end == std::string::npos) block_end = text->size();
+    CellResult c;
+    const auto key = find_string(*text, "key", pos - 1, block_end);
+    const auto group = find_string(*text, "group", pos, block_end);
+    if (!key.has_value() || !group.has_value()) return std::nullopt;
+    c.key = *key;
+    c.group = *group;
+    const auto num = [&](const char* k) {
+      return find_number(*text, k, pos, block_end);
+    };
+    const auto u64 = [&](const char* k) {
+      return json_mini::find_uint64(*text, k, pos, block_end).value_or(0);
+    };
+    const auto required = num("t_ratio");
+    if (!required.has_value()) return std::nullopt;
+    c.seed = u64("seed");
+    c.t_ratio = *required;
+    c.f_ratio = num("f_ratio").value_or(0.0);
+    c.fairness = num("fairness").value_or(1.0);
+    c.msgs_per_node = num("msgs_per_node").value_or(0.0);
+    c.avg_query_delay_s = num("avg_query_delay_s").value_or(0.0);
+    c.generated = u64("generated");
+    c.finished = u64("finished");
+    c.failed = u64("failed");
+    c.events = u64("events");
+    c.messages = u64("messages");
+    c.messages_delivered = u64("delivered");
+    c.messages_lost = u64("lost");
+    c.wall_seconds = num("wall_seconds").value_or(0.0);
+    r.cells.push_back(std::move(c));
+    pos = text->find(needle, block_end - 1);
+  }
+  return r;
+}
+
+bool shard_result_valid(const ShardResult& result, const Shard& shard,
+                        std::uint64_t spec_fingerprint,
+                        std::size_t shards_total) {
+  if (result.spec_fingerprint != spec_fingerprint ||
+      result.shard_id != shard.id || result.shards_total != shards_total ||
+      result.cells.size() != shard.cells.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < shard.cells.size(); ++i) {
+    if (result.cells[i].key != shard.cells[i].key) return false;
+  }
+  return true;
+}
+
+bool shard_complete(const std::string& dir, const Shard& shard,
+                    std::uint64_t spec_fingerprint,
+                    std::size_t shards_total) {
+  const auto result = read_shard_result(shard_path(dir, shard.id));
+  return result.has_value() &&
+         shard_result_valid(*result, shard, spec_fingerprint, shards_total);
+}
+
+std::vector<std::size_t> pending_shards(const std::string& dir,
+                                        const std::vector<Shard>& shards,
+                                        std::uint64_t spec_fingerprint) {
+  std::vector<std::size_t> pending;
+  for (const Shard& shard : shards) {
+    if (!shard_complete(dir, shard, spec_fingerprint, shards.size())) {
+      pending.push_back(shard.id);
+    }
+  }
+  return pending;
+}
+
+namespace {
+
+/// Spawn `worker_binary --mode=worker --dir=D --shards=N --shard=K <spec>`.
+/// Returns the child pid, or -1.
+pid_t spawn_worker(const std::string& worker_binary, const SweepSpec& spec,
+                   const std::string& dir, std::size_t shards_total,
+                   std::size_t shard_id) {
+  std::vector<std::string> args;
+  args.push_back(worker_binary);
+  args.push_back("--mode=worker");
+  args.push_back("--dir=" + dir);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "--shards=%zu", shards_total);
+  args.push_back(buf);
+  std::snprintf(buf, sizeof(buf), "--shard=%zu", shard_id);
+  args.push_back(buf);
+  for (std::string& a : spec.to_args()) args.push_back(std::move(a));
+
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = fork();
+  if (pid == 0) {
+    execv(argv[0], argv.data());
+    std::fprintf(stderr, "sweep: execv %s failed: %s\n", argv[0],
+                 std::strerror(errno));
+    _exit(127);
+  }
+  return pid;
+}
+
+}  // namespace
+
+std::optional<OrchestrateOutcome> orchestrate(
+    const SweepSpec& spec, std::size_t shards_total,
+    const OrchestrateOptions& options) {
+  const SweepSpec norm = spec.normalized();
+  const std::uint64_t fp = norm.fingerprint();
+  const std::vector<Shard> shards = partition(norm, shards_total);
+
+  // A directory already carrying a different sweep's manifest is a user
+  // error (mixing two sweeps' shard files would merge garbage).
+  if (!dir_matches_sweep(options.dir, fp, shards_total)) return std::nullopt;
+
+  Manifest manifest;
+  manifest.spec_fingerprint = fp;
+  manifest.spec = norm.describe();
+  manifest.shards_total = shards_total;
+  manifest.shards.resize(shards_total);
+
+  OrchestrateOutcome outcome;
+  std::vector<std::size_t> queue;
+  for (const Shard& shard : shards) {
+    ShardStatus& st = manifest.shards[shard.id];
+    st.id = shard.id;
+    st.cells = shard.cells.size();
+    if (shard_complete(options.dir, shard, fp, shards_total)) {
+      st.state = "done";  // resume: finished before a previous crash
+      ++outcome.skipped;
+    } else if (shard.cells.empty()) {
+      // Nothing to compute — complete it inline instead of spawning a
+      // process to do nothing.
+      ShardResult empty;
+      empty.spec_fingerprint = fp;
+      empty.shard_id = shard.id;
+      empty.shards_total = shards_total;
+      const bool ok = write_shard_result(options.dir, empty);
+      st.state = ok ? "done" : "failed";
+      ok ? ++outcome.ran : ++outcome.failed;
+    } else {
+      st.state = "pending";
+      queue.push_back(shard.id);
+    }
+  }
+  if (!write_manifest(options.dir, manifest)) {
+    std::fprintf(stderr, "sweep: cannot write manifest in %s\n",
+                 options.dir.c_str());
+    return std::nullopt;
+  }
+
+  const auto finish_shard = [&](std::size_t sid, bool worker_ok) {
+    const bool done = worker_ok &&
+                      shard_complete(options.dir, shards[sid], fp,
+                                     shards_total);
+    manifest.shards[sid].state = done ? "done" : "failed";
+    done ? ++outcome.ran : ++outcome.failed;
+    if (!done) {
+      std::fprintf(stderr, "sweep: shard %zu failed%s\n", sid,
+                   worker_ok ? " (invalid result file)" : "");
+    }
+    write_manifest(options.dir, manifest);
+  };
+
+  if (options.worker_binary.empty()) {
+    // In-process reference path: sequential, deterministic order.
+    for (const std::size_t sid : queue) {
+      const ShardResult result = run_shard(shards[sid], fp, shards_total);
+      finish_shard(sid, write_shard_result(options.dir, result));
+    }
+    return outcome;
+  }
+
+  std::map<pid_t, std::size_t> running;
+  std::size_t next = 0;
+  const std::size_t workers = options.workers > 0 ? options.workers : 1;
+  while (next < queue.size() || !running.empty()) {
+    while (next < queue.size() && running.size() < workers) {
+      const std::size_t sid = queue[next++];
+      const pid_t pid = spawn_worker(options.worker_binary, norm, options.dir,
+                                     shards_total, sid);
+      if (pid < 0) {
+        finish_shard(sid, false);
+        continue;
+      }
+      running.emplace(pid, sid);
+    }
+    if (running.empty()) continue;
+    int status = 0;
+    const pid_t pid = waitpid(-1, &status, 0);
+    if (pid < 0) break;
+    const auto it = running.find(pid);
+    if (it == running.end()) continue;
+    const std::size_t sid = it->second;
+    running.erase(it);
+    finish_shard(sid, WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  }
+  return outcome;
+}
+
+}  // namespace soc::sweep

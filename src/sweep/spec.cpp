@@ -1,0 +1,219 @@
+#include "src/sweep/spec.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/assert.hpp"
+
+namespace soc::sweep {
+
+std::uint64_t fnv1a(std::string_view text) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+namespace {
+
+/// splitmix64 finalizer: decorrelates the structured fnv/base-seed bits so
+/// neighboring cells get unrelated experiment seeds.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+template <typename... Args>
+std::string fmt(const char* f, Args... args) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), f, args...);
+  return buf;
+}
+
+}  // namespace
+
+std::optional<SweepSpec> SweepSpec::from_args(const CliArgs& args) {
+  SweepSpec spec;
+  spec.protocols.clear();
+  for (const std::string& name :
+       args.get_list("protocols", "HID-CAN,Newscast,KHDN-CAN")) {
+    const auto kind = core::protocol_from_name(name);
+    if (!kind.has_value()) {
+      std::fprintf(stderr, "sweep: unknown protocol '%s'\n", name.c_str());
+      return std::nullopt;
+    }
+    spec.protocols.push_back(*kind);
+  }
+  const auto lambdas = args.get_double_list("lambdas", "0.5");
+  const auto node_counts = args.get_size_list("node-counts", "384");
+  if (!lambdas.has_value() || !node_counts.has_value()) return std::nullopt;
+  spec.lambdas = *lambdas;
+  spec.node_counts = *node_counts;
+  spec.scenarios = args.get_list("scenarios", "none");
+  for (const std::string& s : spec.scenarios) {
+    if (!scenario_by_name(s, seconds(3600.0), 64).has_value()) {
+      std::fprintf(stderr, "sweep: unknown scenario preset '%s'\n", s.c_str());
+      return std::nullopt;
+    }
+  }
+  spec.repeats = static_cast<std::size_t>(args.get_int("repeats", 1));
+  spec.base_seed = static_cast<std::uint64_t>(args.get_int("base-seed", 1));
+  spec.hours = args.get_double("hours", 6.0);
+  spec.churn_dynamic_degree = args.get_double("churn", 0.0);
+  if (spec.protocols.empty() || spec.lambdas.empty() ||
+      spec.node_counts.empty() || spec.scenarios.empty() ||
+      spec.repeats == 0) {
+    std::fprintf(stderr, "sweep: every grid axis needs at least one value\n");
+    return std::nullopt;
+  }
+  return spec.normalized();
+}
+
+std::vector<std::string> SweepSpec::to_args() const {
+  const SweepSpec n = normalized();
+  const auto join = [](const std::vector<std::string>& parts) {
+    std::string out;
+    for (const std::string& p : parts) {
+      if (!out.empty()) out += ',';
+      out += p;
+    }
+    return out;
+  };
+  std::vector<std::string> protos;
+  protos.reserve(n.protocols.size());
+  for (const core::ProtocolKind p : n.protocols) {
+    protos.push_back(core::protocol_name(p));
+  }
+  std::vector<std::string> ls;
+  for (const double l : n.lambdas) ls.push_back(fmt("%.6g", l));
+  std::vector<std::string> ns;
+  for (const std::size_t c : n.node_counts) ns.push_back(fmt("%zu", c));
+  return {
+      "--protocols=" + join(protos),
+      "--lambdas=" + join(ls),
+      "--node-counts=" + join(ns),
+      "--scenarios=" + join(n.scenarios),
+      fmt("--repeats=%zu", n.repeats),
+      fmt("--base-seed=%llu", static_cast<unsigned long long>(n.base_seed)),
+      fmt("--hours=%.6g", n.hours),
+      fmt("--churn=%.6g", n.churn_dynamic_degree),
+  };
+}
+
+SweepSpec SweepSpec::normalized() const {
+  SweepSpec n = *this;
+  const auto dedup_sort = [](auto& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  std::sort(n.protocols.begin(), n.protocols.end(),
+            [](core::ProtocolKind a, core::ProtocolKind b) {
+              return static_cast<int>(a) < static_cast<int>(b);
+            });
+  n.protocols.erase(std::unique(n.protocols.begin(), n.protocols.end()),
+                    n.protocols.end());
+  dedup_sort(n.lambdas);
+  dedup_sort(n.node_counts);
+  dedup_sort(n.scenarios);
+  return n;
+}
+
+std::string SweepSpec::describe() const {
+  const SweepSpec n = normalized();
+  std::string out = "sweep{p=[";
+  for (std::size_t i = 0; i < n.protocols.size(); ++i) {
+    out += (i ? "," : "") + core::protocol_name(n.protocols[i]);
+  }
+  out += "] l=[";
+  for (std::size_t i = 0; i < n.lambdas.size(); ++i) {
+    out += fmt("%s%.6g", i ? "," : "", n.lambdas[i]);
+  }
+  out += "] n=[";
+  for (std::size_t i = 0; i < n.node_counts.size(); ++i) {
+    out += fmt("%s%zu", i ? "," : "", n.node_counts[i]);
+  }
+  out += "] sc=[";
+  for (std::size_t i = 0; i < n.scenarios.size(); ++i) {
+    out += (i ? "," : "") + n.scenarios[i];
+  }
+  out += fmt("] r=%zu seed=%llu h=%.6g dd=%.6g}", n.repeats,
+             static_cast<unsigned long long>(n.base_seed), n.hours,
+             n.churn_dynamic_degree);
+  return out;
+}
+
+std::uint64_t SweepSpec::fingerprint() const { return fnv1a(describe()); }
+
+std::vector<SweepCell> SweepSpec::enumerate() const {
+  const SweepSpec n = normalized();
+  std::vector<SweepCell> cells;
+  cells.reserve(n.cell_count());
+  for (const core::ProtocolKind proto : n.protocols) {
+    for (const double lambda : n.lambdas) {
+      for (const std::size_t nodes : n.node_counts) {
+        for (const std::string& sc : n.scenarios) {
+          const std::string group =
+              fmt("%s/l%.6g/n%zu/%s", core::protocol_name(proto).c_str(),
+                  lambda, nodes, sc.c_str());
+          for (std::size_t r = 0; r < n.repeats; ++r) {
+            SweepCell cell;
+            cell.group = group;
+            cell.key = fmt("%s/r%zu", group.c_str(), r);
+
+            core::ExperimentConfig c;
+            c.protocol = proto;
+            c.nodes = nodes;
+            c.demand_ratio = lambda;
+            c.duration = seconds(n.hours * 3600.0);
+            c.sample_step = seconds(3600);
+            c.churn_dynamic_degree = n.churn_dynamic_degree;
+            // Content-derived seed: identical for this cell no matter which
+            // process (or how many) runs the sweep.  Guard against 0 —
+            // some RNG seedings treat it specially.
+            const std::uint64_t seed =
+                mix64(n.base_seed ^ fnv1a(cell.key));
+            c.seed = seed != 0 ? seed : 0x5eed5eed5eed5eedull;
+            const auto scenario = scenario_by_name(sc, c.duration, nodes);
+            SOC_CHECK_MSG(scenario.has_value(), "unknown scenario preset");
+            c.scenario = *scenario;
+            cell.config = std::move(c);
+            cells.push_back(std::move(cell));
+          }
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+std::optional<scenario::ScenarioSpec> scenario_by_name(const std::string& name,
+                                                       SimTime duration,
+                                                       std::size_t nodes) {
+  scenario::ScenarioSpec spec;
+  if (name == "none") return spec;
+  const double d = to_seconds(duration);
+  if (name == "flash") {
+    spec.bursts.push_back(scenario::JoinBurst{
+        seconds(0.25 * d), std::max<std::size_t>(1, nodes / 4),
+        seconds(0.10 * d)});
+    return spec;
+  }
+  if (name == "quake") {
+    spec.failures.push_back(
+        scenario::MassFailure{seconds(0.5 * d), 0.25, /*spatial=*/true});
+    return spec;
+  }
+  if (name == "phased") {
+    spec.phases.push_back(scenario::ChurnPhase{0, 0.0});
+    spec.phases.push_back(scenario::ChurnPhase{seconds(d / 3.0), 0.5});
+    spec.phases.push_back(scenario::ChurnPhase{seconds(2.0 * d / 3.0), 0.1});
+    return spec;
+  }
+  return std::nullopt;
+}
+
+}  // namespace soc::sweep

@@ -1,0 +1,97 @@
+// SweepSpec: the full-factorial experiment grid (protocol × λ × node count
+// × scenario × repeat seed) behind the paper's figures, as pure data — the
+// execution layer above a single Experiment.
+//
+// The spec enumerates SweepCells.  Everything about a cell is derived from
+// its *content*, never from enumeration order:
+//   * cell key     — canonical string naming the coordinates;
+//   * seed         — splitmix64 of (base_seed, fnv1a(key)), so an
+//                    experiment draws the identical RNG stream whether it
+//                    runs in-process, in 1 worker, or in 16;
+//   * shard id     — fnv1a(key) mod shards_total (src/sweep/shard.hpp).
+// Reordering the spec's axis vectors therefore changes nothing about what
+// any shard computes — the property the sweep determinism tests pin.
+//
+// A spec round-trips through CLI flags (from_args/to_args): the
+// orchestrator respawns workers with to_args(), and a manifest's
+// describe() string names the sweep for resume-time validation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/cli.hpp"
+#include "src/core/experiment.hpp"
+
+namespace soc::sweep {
+
+/// FNV-1a 64-bit — the content hash behind cell seeds and shard ids.
+[[nodiscard]] std::uint64_t fnv1a(std::string_view text);
+
+/// One fully-addressed point of the grid: the built ExperimentConfig plus
+/// the canonical names the sharder/merger key on.
+struct SweepCell {
+  std::string key;    ///< unique: group + "/r<repeat>"
+  std::string group;  ///< stats-grouping cell (coordinates minus repeat)
+  core::ExperimentConfig config;  ///< config.seed already content-derived
+};
+
+struct SweepSpec {
+  std::vector<core::ProtocolKind> protocols{core::ProtocolKind::kHidCan};
+  std::vector<double> lambdas{0.5};
+  std::vector<std::size_t> node_counts{384};
+  /// Scenario axis, by preset name ("none", "flash", "quake", "phased" —
+  /// see scenario_by_name).  Named presets keep cells addressable from a
+  /// worker command line; arbitrary ScenarioSpecs stay a library-level
+  /// Experiment feature.
+  std::vector<std::string> scenarios{"none"};
+  std::size_t repeats = 1;       ///< seeds per grid cell
+  std::uint64_t base_seed = 1;   ///< mixed into every cell seed
+  double hours = 6.0;            ///< simulated duration per experiment
+  double churn_dynamic_degree = 0.0;  ///< baseline churn for every cell
+
+  /// Parse from CLI flags (--protocols, --lambdas, --node-counts,
+  /// --scenarios, --repeats, --base-seed, --hours, --churn).  Unknown
+  /// protocol or scenario names return nullopt and print to stderr.
+  [[nodiscard]] static std::optional<SweepSpec> from_args(const CliArgs& args);
+
+  /// The spec as the equivalent CLI flags — how the orchestrator tells a
+  /// worker process what sweep it belongs to.
+  [[nodiscard]] std::vector<std::string> to_args() const;
+
+  /// Compact one-line canonical description; equal specs (after axis
+  /// sorting/dedup in normalized()) produce equal strings.
+  [[nodiscard]] std::string describe() const;
+
+  /// fnv1a(describe()) — stamped into every shard result and the manifest
+  /// so resume and merge refuse to mix artifacts of different sweeps.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+  /// Canonical axis order: protocols by enum value, numeric axes
+  /// ascending, scenarios lexicographic; duplicates removed.  Enumeration
+  /// then yields cells sorted by key construction — and because every
+  /// cell property is content-derived, a spec that arrives in a different
+  /// axis order still produces the identical sweep.
+  [[nodiscard]] SweepSpec normalized() const;
+
+  /// All cells of the normalized grid.
+  [[nodiscard]] std::vector<SweepCell> enumerate() const;
+
+  [[nodiscard]] std::size_t cell_count() const {
+    return protocols.size() * lambdas.size() * node_counts.size() *
+           scenarios.size() * repeats;
+  }
+};
+
+/// Resolve a scenario preset against a cell's duration and population:
+///   none   — disabled spec;
+///   flash  — join burst of nodes/4 at 25% of the run over a 10% window;
+///   quake  — spatial mass failure of 25% of the population at mid-run;
+///   phased — churn phases 0 → 0.5 → 0.1 at 0% / 33% / 66% of the run.
+/// nullopt for unknown names.
+[[nodiscard]] std::optional<scenario::ScenarioSpec> scenario_by_name(
+    const std::string& name, SimTime duration, std::size_t nodes);
+
+}  // namespace soc::sweep

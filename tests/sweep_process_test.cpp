@@ -1,0 +1,262 @@
+// Cross-process sweep determinism, driving the real sweep_run binary
+// (path injected as SOC_SWEEP_BIN by CMake):
+//
+//   * a 24-config mini-sweep merged from 4 worker processes is
+//     byte-identical to the same sweep run single-process;
+//   * an orchestrator SIGKILLed mid-sweep resumes from its manifest and
+//     result files, re-running only the unfinished shards (finished shard
+//     files stay untouched — same inode, same mtime), and the resumed
+//     merge equals the uninterrupted one.
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/sweep/io.hpp"
+#include "src/sweep/runner.hpp"
+
+#ifndef SOC_SWEEP_BIN
+#error "SOC_SWEEP_BIN must point at the sweep_run binary"
+#endif
+
+namespace soc::sweep {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::size_t kShards = 4;
+
+/// The 24-cell mini-grid as CLI flags.  `hours` sets per-experiment work:
+/// the byte-identity test wants speed, the kill test wants shards slow
+/// enough that a SIGKILL reliably lands mid-sweep.
+std::vector<std::string> spec_flags(double hours) {
+  char h[32];
+  std::snprintf(h, sizeof(h), "--hours=%g", hours);
+  return {"--protocols=HID-CAN,Newscast,KHDN-CAN", "--lambdas=0.3,0.5",
+          "--node-counts=24,32", "--scenarios=none", "--repeats=2",
+          "--base-seed=7", h};
+}
+
+SweepSpec spec_for_validation(double hours) {
+  SweepSpec spec;
+  spec.protocols = {core::ProtocolKind::kHidCan, core::ProtocolKind::kNewscast,
+                    core::ProtocolKind::kKhdnCan};
+  spec.lambdas = {0.3, 0.5};
+  spec.node_counts = {24, 32};
+  spec.scenarios = {"none"};
+  spec.repeats = 2;
+  spec.base_seed = 7;
+  spec.hours = hours;
+  return spec;
+}
+
+class TempDir {
+ public:
+  explicit TempDir(const char* tag) {
+    path_ = (fs::temp_directory_path() /
+             (std::string("soc_sweepproc_") + tag + "_" +
+              std::to_string(::getpid())))
+                .string();
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() { fs::remove_all(path_); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Spawn sweep_run with the given mode flags in its own process group (so
+/// a SIGKILL to the group takes its workers down too — the crash the
+/// resume path must survive).  Returns the child pid.
+pid_t spawn_sweep(const std::vector<std::string>& mode_flags, double hours) {
+  std::vector<std::string> args;
+  args.emplace_back(SOC_SWEEP_BIN);
+  for (const std::string& f : mode_flags) args.push_back(f);
+  for (const std::string& f : spec_flags(hours)) args.push_back(f);
+  std::vector<char*> argv;
+  for (std::string& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+  const pid_t pid = fork();
+  if (pid == 0) {
+    setpgid(0, 0);
+    // Quiet the table output; errors still reach the test log via stderr.
+    freopen("/dev/null", "w", stdout);
+    execv(argv[0], argv.data());
+    _exit(127);
+  }
+  return pid;
+}
+
+/// Run to completion; returns the exit code (-1 on abnormal exit).
+int run_sweep(const std::vector<std::string>& mode_flags, double hours) {
+  const pid_t pid = spawn_sweep(mode_flags, hours);
+  if (pid < 0) return -1;
+  int status = 0;
+  if (waitpid(pid, &status, 0) != pid) return -1;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(SweepProcess, FourWorkerMergeIsByteIdenticalToSingleProcess) {
+  const TempDir local("local");
+  const TempDir fanout("fanout");
+  constexpr double kHours = 0.05;
+
+  ASSERT_EQ(run_sweep({"--mode=local", "--dir=" + local.path(),
+                       "--shards=" + std::to_string(kShards)},
+                      kHours),
+            0);
+  ASSERT_EQ(run_sweep({"--mode=orchestrate", "--workers=4",
+                       "--dir=" + fanout.path(),
+                       "--shards=" + std::to_string(kShards)},
+                      kHours),
+            0);
+
+  const auto merged_local = read_file(local.path() + "/SWEEP_merged.json");
+  const auto merged_fanout = read_file(fanout.path() + "/SWEEP_merged.json");
+  ASSERT_TRUE(merged_local.has_value());
+  ASSERT_TRUE(merged_fanout.has_value());
+  EXPECT_FALSE(merged_local->empty());
+  EXPECT_EQ(*merged_local, *merged_fanout)
+      << "merged report must not depend on the process layout";
+
+  // The per-shard artifacts agree too (same partition, same results).
+  for (std::size_t s = 0; s < kShards; ++s) {
+    const auto a = read_file(shard_path(local.path(), s));
+    const auto b = read_file(shard_path(fanout.path(), s));
+    ASSERT_TRUE(a.has_value() && b.has_value()) << "shard " << s;
+    // Shard files carry nondeterministic wall_seconds; compare the parsed
+    // deterministic fields instead of bytes.
+    const auto ra = read_shard_result(shard_path(local.path(), s));
+    const auto rb = read_shard_result(shard_path(fanout.path(), s));
+    ASSERT_TRUE(ra.has_value() && rb.has_value());
+    ASSERT_EQ(ra->cells.size(), rb->cells.size());
+    for (std::size_t i = 0; i < ra->cells.size(); ++i) {
+      EXPECT_EQ(ra->cells[i].key, rb->cells[i].key);
+      EXPECT_EQ(ra->cells[i].seed, rb->cells[i].seed);
+      EXPECT_EQ(ra->cells[i].events, rb->cells[i].events);
+      EXPECT_EQ(ra->cells[i].messages, rb->cells[i].messages);
+      EXPECT_EQ(ra->cells[i].t_ratio, rb->cells[i].t_ratio);
+    }
+  }
+}
+
+TEST(SweepProcess, KilledOrchestratorResumesWithoutRecomputingDoneShards) {
+  // Long enough per shard (~tens of ms) that the SIGKILL lands mid-sweep.
+  constexpr double kHours = 4.0;
+  const TempDir reference("kill_ref");
+
+  // Uninterrupted run for comparison.
+  ASSERT_EQ(run_sweep({"--mode=local", "--dir=" + reference.path(),
+                       "--shards=" + std::to_string(kShards)},
+                      kHours),
+            0);
+
+  const SweepSpec spec = spec_for_validation(kHours);
+  const std::vector<Shard> shards = partition(spec, kShards);
+  const std::uint64_t fp = spec.fingerprint();
+
+  struct Snapshot {
+    std::size_t id;
+    struct timespec mtime;
+    ino_t inode;
+  };
+  std::vector<Snapshot> survivors;
+  std::string killed_dir;
+
+  // Start the orchestrator sequentially (1 worker => shards finish one by
+  // one), wait for the *first* shard result to land, then SIGKILL the
+  // whole process group mid-sweep.  On a loaded machine the kill can in
+  // principle arrive after the last shard finished — that attempt proves
+  // nothing about resume, so retry in a fresh directory.
+  std::vector<std::unique_ptr<TempDir>> dirs;
+  for (int attempt = 0; attempt < 5 && survivors.empty(); ++attempt) {
+    dirs.push_back(std::make_unique<TempDir>(
+        ("kill" + std::to_string(attempt)).c_str()));
+    const std::string& dir = dirs.back()->path();
+    const pid_t pid = spawn_sweep({"--mode=orchestrate", "--workers=1",
+                                   "--dir=" + dir,
+                                   "--shards=" + std::to_string(kShards)},
+                                  kHours);
+    ASSERT_GT(pid, 0);
+
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(120);
+    bool first_done = false;
+    while (std::chrono::steady_clock::now() < deadline) {
+      std::size_t done = 0;
+      for (const Shard& s : shards) {
+        if (shard_complete(dir, s, fp, kShards)) ++done;
+      }
+      if (done >= 1) {
+        first_done = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_TRUE(first_done) << "no shard completed within the deadline";
+    ASSERT_EQ(kill(-pid, SIGKILL), 0);
+    int status = 0;
+    waitpid(pid, &status, 0);
+    ASSERT_TRUE(WIFSIGNALED(status)) << "orchestrator should die by signal";
+
+    // Snapshot what survived the crash; a fully-finished attempt retries.
+    std::size_t done_before = 0;
+    std::vector<Snapshot> snap;
+    for (const Shard& s : shards) {
+      if (!shard_complete(dir, s, fp, kShards)) continue;
+      ++done_before;
+      struct stat st {};
+      ASSERT_EQ(stat(shard_path(dir, s.id).c_str(), &st), 0);
+      snap.push_back({s.id, st.st_mtim, st.st_ino});
+    }
+    if (done_before >= 1 && done_before < kShards) {
+      survivors = std::move(snap);
+      killed_dir = dir;
+    }
+  }
+  ASSERT_FALSE(survivors.empty())
+      << "could not interrupt the sweep mid-flight in 5 attempts";
+  const std::string killed_path = killed_dir;
+
+  // Resume: the orchestrator must finish the remaining shards and merge.
+  ASSERT_EQ(run_sweep({"--mode=orchestrate", "--workers=2",
+                       "--dir=" + killed_path,
+                       "--shards=" + std::to_string(kShards)},
+                      kHours),
+            0);
+
+  // Finished shards were not recomputed: their files are untouched.
+  for (const Snapshot& s : survivors) {
+    struct stat st {};
+    ASSERT_EQ(stat(shard_path(killed_path, s.id).c_str(), &st), 0);
+    EXPECT_EQ(st.st_ino, s.inode) << "shard " << s.id << " was rewritten";
+    EXPECT_EQ(st.st_mtim.tv_sec, s.mtime.tv_sec) << "shard " << s.id;
+    EXPECT_EQ(st.st_mtim.tv_nsec, s.mtime.tv_nsec) << "shard " << s.id;
+  }
+
+  // The manifest reflects the completed sweep…
+  const auto manifest = read_manifest(killed_path);
+  ASSERT_TRUE(manifest.has_value());
+  EXPECT_EQ(manifest->spec_fingerprint, fp);
+  EXPECT_EQ(manifest->shards.size(), kShards);
+  for (const ShardStatus& s : manifest->shards) EXPECT_EQ(s.state, "done");
+
+  // …and the resumed merge is byte-identical to the uninterrupted run.
+  const auto merged_killed = read_file(killed_path + "/SWEEP_merged.json");
+  const auto merged_ref = read_file(reference.path() + "/SWEEP_merged.json");
+  ASSERT_TRUE(merged_killed.has_value() && merged_ref.has_value());
+  EXPECT_EQ(*merged_killed, *merged_ref);
+}
+
+}  // namespace
+}  // namespace soc::sweep
