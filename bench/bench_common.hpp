@@ -85,6 +85,9 @@ struct PerfSample {
   double t_ratio = 0.0;
   double f_ratio = 0.0;
   double msgs_per_node = 0.0;
+  std::uint64_t messages_partitioned = 0;
+  std::uint64_t stale_dead_provider = 0;
+  std::uint64_t stale_misplaced = 0;
   std::vector<core::ExperimentResults::MsgTypeCounts> traffic;
 };
 
@@ -113,6 +116,9 @@ inline PerfSample timed_run(const core::ExperimentConfig& config) {
   s.t_ratio = r.t_ratio;
   s.f_ratio = r.f_ratio;
   s.msgs_per_node = r.msg_cost_per_node;
+  s.messages_partitioned = r.messages_partitioned;
+  s.stale_dead_provider = r.stale_records_dead_provider;
+  s.stale_misplaced = r.stale_records_misplaced;
   s.traffic = r.traffic_by_type;
   return s;
 }
@@ -147,22 +153,30 @@ inline bool write_perf_json(const std::string& path, const char* bench_name,
                  "      \"messages\": %llu, \"messages_per_sec\": %.1f,\n"
                  "      \"t_ratio\": %.6f, \"f_ratio\": %.6f, "
                  "\"msgs_per_node\": %.3f,\n"
+                 "      \"messages_partitioned\": %llu,\n"
+                 "      \"stale_dead_provider\": %llu, "
+                 "\"stale_misplaced\": %llu,\n"
                  "      \"traffic\": [",
                  s.name.c_str(), s.wall_seconds,
                  static_cast<unsigned long long>(s.events),
                  static_cast<double>(s.events) / wall,
                  static_cast<unsigned long long>(s.messages),
                  static_cast<double>(s.messages) / wall, s.t_ratio, s.f_ratio,
-                 s.msgs_per_node);
+                 s.msgs_per_node,
+                 static_cast<unsigned long long>(s.messages_partitioned),
+                 static_cast<unsigned long long>(s.stale_dead_provider),
+                 static_cast<unsigned long long>(s.stale_misplaced));
     for (std::size_t t = 0; t < s.traffic.size(); ++t) {
       const auto& m = s.traffic[t];
       std::fprintf(f,
                    "%s\n        { \"type\": \"%s\", \"sent\": %llu, "
-                   "\"delivered\": %llu, \"lost\": %llu }",
+                   "\"delivered\": %llu, \"lost\": %llu, "
+                   "\"partitioned\": %llu }",
                    t > 0 ? "," : "", m.type.c_str(),
                    static_cast<unsigned long long>(m.sent),
                    static_cast<unsigned long long>(m.delivered),
-                   static_cast<unsigned long long>(m.lost));
+                   static_cast<unsigned long long>(m.lost),
+                   static_cast<unsigned long long>(m.partitioned));
     }
     std::fprintf(f, " ] }%s\n", i + 1 < samples.size() ? "," : "");
   }

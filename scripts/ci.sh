@@ -8,6 +8,9 @@
 #   scripts/ci.sh nightly   # tier-1 + the 1000-schedule sim_fuzz lane
 #   scripts/ci.sh sweep     # the sweep lane alone (-L sweep): worker
 #                           # fan-out, kill-and-resume, byte-determinism
+#   scripts/ci.sh asan      # unit lane under ASan+UBSan in a separate
+#                           # build-asan tree (never mixes with Release
+#                           # objects or the bench gate)
 #
 # Re-baseline bookkeeping: `cmake --build build --target archive_baseline`
 # copies bench/BENCH_baseline.json into bench/history/ (regen_goldens does
@@ -20,6 +23,16 @@ set -eu
 
 lane="${1:-full}"
 root="$(cd "$(dirname "$0")/.." && pwd)"
+
+# The asan lane configures its own tree; sanitized objects must never mix
+# with the Release tree whose binaries write BENCH_*.json.
+if [ "$lane" = "asan" ]; then
+  cmake -B "$root/build-asan" -S "$root" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DSOC_SANITIZE=address,undefined
+  cmake --build "$root/build-asan" -j
+  cd "$root/build-asan"
+  exec ctest -L unit --output-on-failure -j8
+fi
 
 cmake -B "$root/build" -S "$root" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$root/build" -j
@@ -41,7 +54,7 @@ case "$lane" in
     ctest -C nightly --output-on-failure -j8
     ;;
   *)
-    echo "usage: scripts/ci.sh [unit|sweep|full|nightly]" >&2
+    echo "usage: scripts/ci.sh [unit|sweep|full|nightly|asan]" >&2
     exit 2
     ;;
 esac

@@ -84,6 +84,9 @@ Experiment::Experiment(ExperimentConfig config)
     const Host* h = hosts_.find(id);
     return h != nullptr && h->alive;
   });
+  if (config_.link_faults.enabled) {
+    bus_->enable_link_faults(config_.link_faults);
+  }
 
   const ResourceVector cmax = node_gen_.cmax();
   const std::size_t n = config_.nodes;
@@ -206,6 +209,80 @@ std::vector<NodeId> Experiment::alive_ids() const {
   return out;
 }
 
+bool Experiment::scenario_partition(double fraction, std::size_t start_lan) {
+  SOC_CHECK(fraction > 0.0 && fraction < 1.0);
+  if (partition_active()) return false;
+  const std::size_t lans = topology_->lan_count();
+  SOC_CHECK(lans > 0 && start_lan < lans);
+
+  std::vector<std::vector<NodeId>> by_lan(lans);
+  for (const auto& [id, h] : hosts_) {
+    if (h.alive) by_lan[topology_->lan_of(id)].push_back(id);
+  }
+  // Keep at least 3 hosts connected; aim for fraction·alive cut off.
+  const std::size_t cap = alive_count_ > 3 ? alive_count_ - 3 : 0;
+  const std::size_t target = std::min<std::size_t>(
+      cap, static_cast<std::size_t>(
+               std::ceil(fraction * static_cast<double>(alive_count_))));
+
+  std::vector<std::size_t> cut;
+  std::vector<NodeId> victims;
+  for (std::size_t k = 0; k < lans; ++k) {
+    const std::size_t lan = (start_lan + k) % lans;
+    if (by_lan[lan].empty()) continue;
+    if (!cut.empty() && victims.size() >= target) break;
+    if (victims.size() + by_lan[lan].size() > cap) {
+      // This whole LAN group does not fit under the cap; a partial LAN cut
+      // would not be a LAN-boundary partition, so try the next group.
+      continue;
+    }
+    cut.push_back(lan);
+    victims.insert(victims.end(), by_lan[lan].begin(), by_lan[lan].end());
+  }
+  if (cut.empty()) return false;
+
+  bus_->set_partition(std::move(cut));
+  std::sort(victims.begin(), victims.end());
+  partitioned_ = victims;
+  // Overlay teardown after the bus cut is in place: the departure-style
+  // maintenance happens on the detached side, and any in-flight cross-cut
+  // messages were fated at send time anyway.
+  for (const NodeId id : victims) protocol_->on_partition_out(id);
+  sample_stale_debt();
+  return true;
+}
+
+/// Fold the current stale-record debt into the reported peak.  Called at
+/// both partition edges: just after the cut (when every detached
+/// provider's record elsewhere is still live — the maximum) and just
+/// before rejoin (what's left for rejoin to reconcile; with cuts longer
+/// than the record TTL the leftovers have expired and this samples the
+/// decayed tail).
+void Experiment::sample_stale_debt() {
+  const StaleDebt debt = protocol_->stale_debt(
+      [this](NodeId id) { return host_alive(id) && !is_partitioned(id); },
+      sim_.now());
+  peak_stale_debt_.dead_provider =
+      std::max(peak_stale_debt_.dead_provider, debt.dead_provider);
+  peak_stale_debt_.misplaced =
+      std::max(peak_stale_debt_.misplaced, debt.misplaced);
+}
+
+void Experiment::scenario_heal() {
+  if (!partition_active()) return;
+  sample_stale_debt();
+  bus_->clear_partition();
+  const std::vector<NodeId> rejoin = std::move(partitioned_);
+  partitioned_.clear();
+  for (const NodeId id : rejoin) {
+    if (host_alive(id)) protocol_->on_rejoin(id);
+  }
+}
+
+bool Experiment::is_partitioned(NodeId id) const {
+  return std::binary_search(partitioned_.begin(), partitioned_.end(), id);
+}
+
 std::string Experiment::check_accounting() const {
   std::size_t alive = 0;
   std::size_t total = 0;
@@ -243,18 +320,18 @@ void Experiment::start_arrivals(NodeId id) {
   // arrive proportionally less often.
   const double mean_s = config_.mean_interarrival_s /
                         std::max(config_.demand_ratio, 1e-6);
-  auto schedule_next = std::make_shared<std::function<void()>>();
-  *schedule_next = [this, id, schedule_next, mean_s] {
-    const SimTime delay = workload::next_arrival_delay(mean_s, rng_);
-    if (sim_.now() + delay > config_.duration) return;
-    sim_.schedule_after(delay, [this, id, schedule_next] {
-      const Host* h = hosts_.find(id);
-      if (h == nullptr || !h->alive) return;
-      submit_task(id);
-      (*schedule_next)();
-    });
-  };
-  (*schedule_next)();
+  schedule_next_arrival(id, mean_s);
+}
+
+void Experiment::schedule_next_arrival(NodeId id, double mean_s) {
+  const SimTime delay = workload::next_arrival_delay(mean_s, rng_);
+  if (sim_.now() + delay > config_.duration) return;
+  sim_.schedule_after(delay, [this, id, mean_s] {
+    const Host* h = hosts_.find(id);
+    if (h == nullptr || !h->alive) return;
+    submit_task(id);
+    schedule_next_arrival(id, mean_s);
+  });
 }
 
 void Experiment::submit_task(NodeId origin) {
@@ -269,6 +346,13 @@ void Experiment::submit_task(NodeId origin) {
 
 void Experiment::begin_query(const std::shared_ptr<TaskRun>& run) {
   ++run->attempts;
+  if (is_partitioned(run->spec.origin)) {
+    // A cut-off origin cannot reach the overlay; the attempt comes back
+    // empty after a beat and the normal retry/backoff machinery takes over
+    // (succeeding only if the partition heals before retries run out).
+    sim_.schedule_after(seconds(1), [this, run] { on_candidates(run, {}); });
+    return;
+  }
   const SimTime started = sim_.now();
   protocol_->query(run->spec.origin, run->spec.expectation,
                    config_.want_results,
@@ -328,8 +412,15 @@ void Experiment::dispatch(const std::shared_ptr<TaskRun>& run,
       static_cast<std::size_t>(run->spec.input_bytes),
       [this, run, provider, origin, responded] {
         Host* h = hosts_.find(provider);
+        const bool reachable = h != nullptr && h->alive;
+        // Admission must be idempotent in the task id: the link layer can
+        // duplicate the dispatch message, and a lost verdict followed by a
+        // checkpoint restart can re-route a task to the host that is
+        // already executing it.  Either way "already running here" is an
+        // accept, not a second admission.
         const bool admitted =
-            h != nullptr && h->alive && h->scheduler->admit(run->spec);
+            reachable && (h->scheduler->is_running(run->spec.id) ||
+                          h->scheduler->admit(run->spec));
         if (admitted) {
           in_flight_.emplace(run->spec.id, Placement{run->spec, provider});
         }
@@ -422,36 +513,40 @@ void Experiment::start_churn() {
                               config_.churn_window_s;
   if (events_per_s <= 0.0) return;
   const double mean_gap_s = 1.0 / events_per_s;
+  schedule_next_churn(mean_gap_s);
+}
 
-  auto churn_once = std::make_shared<std::function<void()>>();
-  *churn_once = [this, mean_gap_s, churn_once] {
-    const SimTime delay =
-        std::max<SimTime>(seconds(rng_.exponential(mean_gap_s)), 1);
-    if (sim_.now() + delay > config_.duration) return;
-    sim_.schedule_after(delay, [this, churn_once] {
-      // Departure of a random alive node (DenseNodeMap iterates in id
-      // order, so the candidate list is already sorted and deterministic).
-      std::vector<NodeId> alive;
-      alive.reserve(hosts_.size());
-      for (const auto& [id, h] : hosts_) {
-        if (h.alive) alive.push_back(id);
-      }
-      if (alive.size() > 2) {
-        on_host_departed(alive[rng_.pick_index(alive.size())]);
-      }
-      // ...and a simultaneous fresh join keeps the population stable.
-      const NodeId joiner = spawn_host();
-      start_arrivals(joiner);
-      (*churn_once)();
-    });
-  };
-  (*churn_once)();
+void Experiment::schedule_next_churn(double mean_gap_s) {
+  const SimTime delay =
+      std::max<SimTime>(seconds(rng_.exponential(mean_gap_s)), 1);
+  if (sim_.now() + delay > config_.duration) return;
+  sim_.schedule_after(delay, [this, mean_gap_s] {
+    // Departure of a random alive node (DenseNodeMap iterates in id
+    // order, so the candidate list is already sorted and deterministic).
+    std::vector<NodeId> alive;
+    alive.reserve(hosts_.size());
+    for (const auto& [id, h] : hosts_) {
+      if (h.alive) alive.push_back(id);
+    }
+    if (alive.size() > 2) {
+      on_host_departed(alive[rng_.pick_index(alive.size())]);
+    }
+    // ...and a simultaneous fresh join keeps the population stable.
+    const NodeId joiner = spawn_host();
+    start_arrivals(joiner);
+    schedule_next_churn(mean_gap_s);
+  });
 }
 
 void Experiment::on_host_departed(NodeId victim) {
   Host& host = hosts_.at(victim);
   host.alive = false;
   --alive_count_;
+  // A partitioned host that dies will never rejoin: drop it from the cut
+  // set (on_leave below drops the protocol's parked state to match).
+  const auto cut = std::lower_bound(partitioned_.begin(), partitioned_.end(),
+                                    victim);
+  if (cut != partitioned_.end() && *cut == victim) partitioned_.erase(cut);
   protocol_->on_leave(victim);
 
   switch (config_.churn_task_policy) {
@@ -558,13 +653,15 @@ ExperimentResults Experiment::results() const {
   r.total_messages = bus_->stats().total_sent();
   r.messages_delivered = bus_->stats().total_delivered();
   r.messages_lost = bus_->stats().total_lost();
+  r.messages_partitioned = bus_->stats().total_partitioned();
   for (std::size_t t = 0; t < static_cast<std::size_t>(net::MsgType::kCount);
        ++t) {
     const auto type = static_cast<net::MsgType>(t);
     if (bus_->stats().sent(type) == 0) continue;
     r.traffic_by_type.push_back(ExperimentResults::MsgTypeCounts{
         std::string(net::msg_type_name(type)), bus_->stats().sent(type),
-        bus_->stats().delivered(type), bus_->stats().lost(type)});
+        bus_->stats().delivered(type), bus_->stats().lost(type),
+        bus_->stats().partitioned(type)});
   }
   r.msg_cost_per_node = bus_->stats().per_node_cost(
       std::max<std::size_t>(config_.nodes, 1));
@@ -580,6 +677,13 @@ ExperimentResults Experiment::results() const {
   r.checkpoint_restarts = checkpoint_restarts_;
   r.checkpoint_snapshots = checkpoint_snapshots_;
   r.wasted_work_rate_seconds = wasted_work_;
+  const StaleDebt debt = protocol_->stale_debt(
+      [this](NodeId id) { return host_alive(id) && !is_partitioned(id); },
+      sim_.now());
+  r.stale_records_dead_provider =
+      std::max(peak_stale_debt_.dead_provider, debt.dead_provider);
+  r.stale_records_misplaced =
+      std::max(peak_stale_debt_.misplaced, debt.misplaced);
   return r;
 }
 

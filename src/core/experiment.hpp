@@ -101,10 +101,16 @@ struct ExperimentConfig {
   bool diagnose_failures = false;
 
   /// Opt-in scenario schedule (src/scenario): phased churn, join bursts,
-  /// mass failures, capacity skew.  A disabled spec (the default) leaves the
-  /// experiment bit-identical to one built before the scenario layer
-  /// existed — no engine is constructed and no RNG stream is forked.
+  /// mass failures, capacity skew, partitions.  A disabled spec (the
+  /// default) leaves the experiment bit-identical to one built before the
+  /// scenario layer existed — no engine is constructed and no RNG stream is
+  /// forked.
   scenario::ScenarioSpec scenario;
+
+  /// Opt-in correlated link faults (src/net/link_model): burst loss,
+  /// reordering, duplication, stragglers.  Disabled (the default) forks no
+  /// RNG stream and leaves every delivery bit-identical.
+  net::LinkFaultConfig link_faults;
 
   index::InscanConfig inscan;
   query::QueryConfig query;
@@ -128,16 +134,19 @@ struct ExperimentResults {
   /// Paper's "message delivery cost": messages sent/forwarded per node.
   double msg_cost_per_node = 0.0;
   std::uint64_t total_messages = 0;
-  /// Delivery outcomes: arrived at a live host vs dropped because the
-  /// destination churned out in flight.
+  /// Delivery outcomes: arrived at a live host, dropped because the
+  /// destination churned out in flight (or the link model lost it), or
+  /// swallowed by an active network partition.
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_lost = 0;
+  std::uint64_t messages_partitioned = 0;
   /// Per-message-type traffic breakdown (types with zero sends omitted).
   struct MsgTypeCounts {
     std::string type;
     std::uint64_t sent = 0;
     std::uint64_t delivered = 0;
     std::uint64_t lost = 0;
+    std::uint64_t partitioned = 0;
   };
   std::vector<MsgTypeCounts> traffic_by_type;
   double avg_query_delay_s = 0.0;
@@ -157,6 +166,16 @@ struct ExperimentResults {
   std::uint64_t checkpoint_restarts = 0;     ///< restart attempts issued
   std::uint64_t checkpoint_snapshots = 0;    ///< snapshots shipped
   double wasted_work_rate_seconds = 0.0;     ///< progress lost to churn
+
+  /// Peak stale-record debt: live cached records naming a dead/unreachable
+  /// provider, and records filed at a node that no longer owns their
+  /// location (see core::StaleDebt).  Sampled at both partition edges
+  /// (just after the cut, when the damage peaks, and just before rejoin
+  /// reconciles what remains) and at collection time; the maximum of
+  /// those samples is reported, so a healed-and-expired run still shows
+  /// what the fault cost.
+  std::uint64_t stale_records_dead_provider = 0;
+  std::uint64_t stale_records_misplaced = 0;
 };
 
 /// Run one full simulation; deterministic in config.seed.
@@ -206,6 +225,30 @@ class Experiment {
   /// Alive host ids in ascending order.
   [[nodiscard]] std::vector<NodeId> alive_ids() const;
 
+  /// Cut off ≈ `fraction` of the alive population along LAN boundaries
+  /// (spatially correlated: whole LAN groups starting at `start_lan`,
+  /// wrapping).  Cut hosts stay *up* — their tasks keep arriving and
+  /// failing — but leave the overlay via on_partition_out and their
+  /// cross-cut messages resolve as `partitioned`.  The cut is capped so at
+  /// least 3 hosts stay connected.  Returns false (and changes nothing)
+  /// when no LAN group fits under the cap or a partition is already active.
+  bool scenario_partition(double fraction, std::size_t start_lan);
+  /// Heal the partition: clear the bus cut and on_rejoin every still-alive
+  /// cut host with its parked stale state.  No-op when none is active.
+  void scenario_heal();
+  /// Whether a bus-level cut is in place (survives all victims dying).
+  [[nodiscard]] bool partition_active() const {
+    return bus_->partition_active();
+  }
+  /// Currently cut-off host ids, ascending (fuzz oracle: must equal the
+  /// protocol's parked_ids()).
+  [[nodiscard]] const std::vector<NodeId>& partitioned_ids() const {
+    return partitioned_;
+  }
+  [[nodiscard]] bool is_partitioned(NodeId id) const;
+  /// LAN group count of the underlying topology (partition epicenters).
+  [[nodiscard]] std::size_t lan_count() const { return topology_->lan_count(); }
+
   /// Internal-accounting oracle for the invariant checker: alive counter,
   /// host-map occupancy and in-flight placements must agree.  Returns an
   /// empty string when consistent, else a description of the violation.
@@ -228,7 +271,12 @@ class Experiment {
 
   NodeId spawn_host();
   void start_arrivals(NodeId id);
+  /// One link of the Poisson arrival chain: draw the next gap, stop past
+  /// the horizon, otherwise submit-and-recurse at the drawn time.
+  void schedule_next_arrival(NodeId id, double mean_s);
   void start_churn();
+  /// One link of the churn chain (depart + join per firing).
+  void schedule_next_churn(double mean_gap_s);
   void start_checkpointing();
   void on_host_departed(NodeId victim);
   void restart_from_checkpoint(const psm::PsmScheduler::Progress& progress);
@@ -263,6 +311,10 @@ class Experiment {
   ResourceVector avg_capacity_;
   double avg_wan_mbps_ = 1.0;
   std::size_t alive_count_ = 0;
+  void sample_stale_debt();
+
+  std::vector<NodeId> partitioned_;  ///< cut-off alive hosts, ascending
+  StaleDebt peak_stale_debt_;  ///< max sampled at partition edges (results)
   bool setup_done_ = false;
   std::uint64_t fail_infeasible_ = 0;
   std::uint64_t fail_feasible_ = 0;

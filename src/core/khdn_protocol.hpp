@@ -1,6 +1,8 @@
 // KHDN-CAN baseline as a DiscoveryProtocol.
 #pragma once
 
+#include <map>
+
 #include "src/core/protocol.hpp"
 #include "src/khdn/khdn.hpp"
 
@@ -14,6 +16,15 @@ class KhdnProtocol final : public DiscoveryProtocol {
   void set_availability_source(AvailabilityFn fn) override;
   void on_join(NodeId id) override;
   void on_leave(NodeId id) override;
+  void on_partition_out(NodeId id) override;
+  void on_rejoin(NodeId id) override;
+  [[nodiscard]] std::vector<NodeId> parked_ids() const override;
+  /// Counts dead-provider records only: the K-hop spread *intentionally*
+  /// replicates records away from the duty node, so "misplaced" is not a
+  /// defect for KHDN and stays zero.
+  [[nodiscard]] StaleDebt stale_debt(
+      const std::function<bool(NodeId)>& reachable,
+      SimTime now) const override;
   void query(NodeId requester, const ResourceVector& demand,
              std::size_t want, QueryCallback cb) override;
   void republish(NodeId id) override;
@@ -24,11 +35,16 @@ class KhdnProtocol final : public DiscoveryProtocol {
   [[nodiscard]] const ResourceVector& cmax() const { return cmax_; }
 
  private:
+  /// Shared overlay teardown behind on_leave and on_partition_out.
+  void leave_overlay(NodeId id);
+
   ResourceVector cmax_;
   Rng rng_;
   can::CanSpace space_;
   khdn::KhdnSystem system_;
   net::MessageBus& bus_;
+  /// Partitioned-out nodes' duty caches, keyed ascending, awaiting rejoin.
+  std::map<NodeId, index::RecordStore> parked_;
 };
 
 }  // namespace soc::core

@@ -1,6 +1,7 @@
 // Newscast gossip baseline as a DiscoveryProtocol.
 #pragma once
 
+#include <map>
 #include <vector>
 
 #include "src/core/protocol.hpp"
@@ -16,6 +17,14 @@ class NewscastProtocol final : public DiscoveryProtocol {
   void set_availability_source(AvailabilityFn fn) override;
   void on_join(NodeId id) override;
   void on_leave(NodeId id) override;
+  void on_partition_out(NodeId id) override;
+  void on_rejoin(NodeId id) override;
+  [[nodiscard]] std::vector<NodeId> parked_ids() const override;
+  /// Counts fresh (non-expired) view entries naming unreachable providers.
+  /// Views have no placement, so "misplaced" stays zero.
+  [[nodiscard]] StaleDebt stale_debt(
+      const std::function<bool(NodeId)>& reachable,
+      SimTime now) const override;
   void query(NodeId requester, const ResourceVector& demand,
              std::size_t want, QueryCallback cb) override;
   [[nodiscard]] std::string name() const override { return "Newscast"; }
@@ -26,6 +35,8 @@ class NewscastProtocol final : public DiscoveryProtocol {
   gossip::NewscastSystem system_;
   Rng rng_;
   std::vector<NodeId> members_;  // for bootstrap sampling
+  /// Partitioned-out nodes' parked views, keyed ascending, awaiting rejoin.
+  std::map<NodeId, std::vector<gossip::ViewEntry>> parked_;
 };
 
 }  // namespace soc::core

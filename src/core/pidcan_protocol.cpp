@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/common/assert.hpp"
 #include "src/psm/task.hpp"
 
 namespace soc::core {
@@ -87,8 +88,7 @@ void PidCanProtocol::on_join(NodeId id) {
   index_.publish_now(id);
 }
 
-void PidCanProtocol::on_leave(NodeId id) {
-  if (!space_.contains(id)) return;
+void PidCanProtocol::leave_overlay(NodeId id) {
   const std::size_t msgs = space_.neighbors_of(id).size();
   if (aggregator_) aggregator_->remove_node(id);
   index_.remove_node(id);
@@ -96,6 +96,73 @@ void PidCanProtocol::on_leave(NodeId id) {
   for (std::size_t i = 0; i < msgs; ++i) {
     bus_.stats().on_synthetic_send(id, net::MsgType::kMaintenance, 64);
   }
+}
+
+void PidCanProtocol::on_leave(NodeId id) {
+  // Death drops any parked partition state: there is no host left to rejoin.
+  parked_.erase(id);
+  if (!space_.contains(id)) return;
+  leave_overlay(id);
+}
+
+void PidCanProtocol::on_partition_out(NodeId id) {
+  if (!space_.contains(id)) return;
+  SOC_CHECK(!parked_.contains(id));
+  // Park the INSCAN state *before* teardown: remove_node then finds empty
+  // moved-from state and re-homes nothing to the takeover node.
+  parked_.emplace(id, index_.park_node(id));
+  leave_overlay(id);
+}
+
+void PidCanProtocol::on_rejoin(NodeId id) {
+  const auto it = parked_.find(id);
+  if (it == parked_.end()) {
+    // Nothing parked (e.g. partitioned before any state existed): fresh join.
+    on_join(id);
+    return;
+  }
+  index::IndexSystem::ParkedNode parked = std::move(it->second);
+  parked_.erase(it);
+  space_.join(id);
+  if (aggregator_) {
+    ResourceVector local = cmax_;
+    if (raw_availability_) {
+      if (const auto a = raw_availability_(id); a.has_value()) local = *a;
+    }
+    aggregator_->add_node(id, local);
+  }
+  index_.restore_node(id, std::move(parked));
+  // Rejoin pays the same overlay-maintenance bill as a join: the zone
+  // re-split routes and the new neighbor set is notified.
+  const std::size_t msgs =
+      options_.maintenance_msgs_per_join + space_.neighbors_of(id).size();
+  for (std::size_t i = 0; i < msgs; ++i) {
+    bus_.stats().on_synthetic_send(id, net::MsgType::kMaintenance, 64);
+  }
+  index_.publish_now(id);
+}
+
+std::vector<NodeId> PidCanProtocol::parked_ids() const {
+  std::vector<NodeId> out;
+  out.reserve(parked_.size());
+  for (const auto& [id, state] : parked_) out.push_back(id);
+  return out;
+}
+
+StaleDebt PidCanProtocol::stale_debt(
+    const std::function<bool(NodeId)>& reachable, SimTime now) const {
+  StaleDebt debt;
+  auto& self = const_cast<PidCanProtocol&>(*this);
+  for (const NodeId owner : space_.member_ids()) {
+    for (const index::Record& r : self.index_.cache(owner).all_live(now)) {
+      if (!reachable(r.provider)) {
+        ++debt.dead_provider;
+      } else if (space_.owner_of(r.location) != owner) {
+        ++debt.misplaced;
+      }
+    }
+  }
+  return debt;
 }
 
 void PidCanProtocol::republish(NodeId id) {

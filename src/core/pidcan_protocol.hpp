@@ -7,6 +7,7 @@
 // six protocol names of §IV.A onto option combinations.
 #pragma once
 
+#include <map>
 #include <memory>
 
 #include "src/core/protocol.hpp"
@@ -37,6 +38,12 @@ class PidCanProtocol final : public DiscoveryProtocol {
   void set_availability_source(AvailabilityFn fn) override;
   void on_join(NodeId id) override;
   void on_leave(NodeId id) override;
+  void on_partition_out(NodeId id) override;
+  void on_rejoin(NodeId id) override;
+  [[nodiscard]] std::vector<NodeId> parked_ids() const override;
+  [[nodiscard]] StaleDebt stale_debt(
+      const std::function<bool(NodeId)>& reachable,
+      SimTime now) const override;
   void query(NodeId requester, const ResourceVector& demand,
              std::size_t want, QueryCallback cb) override;
   void republish(NodeId id) override;
@@ -64,6 +71,9 @@ class PidCanProtocol final : public DiscoveryProtocol {
   /// Eq. (3): a componentwise-random vector with e ≼ e' ≼ c_max.
   [[nodiscard]] ResourceVector skew_demand(const ResourceVector& e,
                                            NodeId requester);
+  /// Shared overlay teardown (aggregator, index, CAN zone, maintenance
+  /// billing) behind on_leave and on_partition_out.
+  void leave_overlay(NodeId id);
 
   ResourceVector cmax_;
   PidCanOptions options_;
@@ -75,6 +85,8 @@ class PidCanProtocol final : public DiscoveryProtocol {
   net::MessageBus& bus_;
   AvailabilityFn raw_availability_;
   std::unique_ptr<gossip::MaxAggregator> aggregator_;
+  /// Partitioned-out nodes' INSCAN state, keyed ascending, awaiting rejoin.
+  std::map<NodeId, index::IndexSystem::ParkedNode> parked_;
 };
 
 }  // namespace soc::core

@@ -20,6 +20,19 @@ struct Discovered {
   ResourceVector availability;
 };
 
+/// Stale-record debt: how much of the protocol's cached discovery state
+/// points at providers that can no longer serve.  `dead_provider` counts
+/// live (unexpired) records/entries naming a dead or unreachable provider;
+/// `misplaced` counts records filed at a node that no longer owns their
+/// location (zone ownership moved, e.g. across a partition+heal).
+struct StaleDebt {
+  std::uint64_t dead_provider = 0;
+  std::uint64_t misplaced = 0;
+  [[nodiscard]] std::uint64_t total() const {
+    return dead_provider + misplaced;
+  }
+};
+
 class DiscoveryProtocol {
  public:
   using AvailabilityFn =
@@ -35,6 +48,28 @@ class DiscoveryProtocol {
   virtual void on_join(NodeId id) = 0;
   /// A host departed; its protocol state must be torn down.
   virtual void on_leave(NodeId id) = 0;
+
+  /// `id` was cut off by a network partition: it leaves the overlay like a
+  /// departure, but its host is still up, so implementations park its
+  /// protocol state (duty cache, indexes, views) for a later on_rejoin.
+  /// Default: a plain on_leave — no state survives, rejoin is fresh.
+  virtual void on_partition_out(NodeId id) { on_leave(id); }
+  /// The partition healed and `id` re-enters the overlay.  Implementations
+  /// restore the parked *stale* state and reconcile it on the existing
+  /// maintenance paths (re-routing records, pruning, periodic refresh) —
+  /// not as a clean fresh join.  Default: a fresh on_join.
+  virtual void on_rejoin(NodeId id) { on_join(id); }
+  /// Ids whose partitioned-out state is currently parked, ascending (fuzz
+  /// oracle: must equal the experiment's partitioned set).
+  [[nodiscard]] virtual std::vector<NodeId> parked_ids() const { return {}; }
+
+  /// Stale-record debt over all cached discovery state: `reachable(id)`
+  /// says whether a provider is alive *and* on the requester-visible side
+  /// of any partition.  Default: unknown (zeros).
+  [[nodiscard]] virtual StaleDebt stale_debt(
+      const std::function<bool(NodeId)>& /*reachable*/, SimTime /*now*/) const {
+    return {};
+  }
 
   /// Multi-dimensional range query: find up to `want` candidates whose
   /// advertised availability dominates `demand`.  The callback fires

@@ -20,6 +20,10 @@ void NewscastSystem::add_node(NodeId id, const std::vector<NodeId>& bootstrap) {
     view.push_back(ViewEntry{b, ResourceVector(psm::kDims), sim_.now()});
     if (view.size() >= config_.view_size) break;
   }
+  start_periodic(id);
+}
+
+void NewscastSystem::start_periodic(NodeId id) {
   sim_.schedule_periodic(
       config_.gossip_period,
       [this, id] {
@@ -33,6 +37,18 @@ void NewscastSystem::add_node(NodeId id, const std::vector<NodeId>& bootstrap) {
 }
 
 void NewscastSystem::remove_node(NodeId id) { views_.erase(id); }
+
+std::vector<ViewEntry> NewscastSystem::park_node(NodeId id) {
+  auto* view = views_.find(id);
+  SOC_CHECK(view != nullptr);
+  return std::move(*view);
+}
+
+void NewscastSystem::restore_node(NodeId id, std::vector<ViewEntry> view) {
+  SOC_CHECK(!views_.contains(id));
+  views_[id] = std::move(view);
+  start_periodic(id);
+}
 
 const std::vector<ViewEntry>& NewscastSystem::view_of(NodeId id) const {
   const auto* view = views_.find(id);

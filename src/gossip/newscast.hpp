@@ -65,6 +65,13 @@ class NewscastSystem {
   void remove_node(NodeId id);
   [[nodiscard]] bool tracks(NodeId id) const { return views_.contains(id); }
 
+  /// Extract `id`'s view ahead of a partition teardown.
+  [[nodiscard]] std::vector<ViewEntry> park_node(NodeId id);
+  /// Re-enter `id` with its parked *stale* view: the entries it heard
+  /// before the cut become its re-entry contacts, and the periodic gossip
+  /// exchange (merge by freshness) reconciles from there.
+  void restore_node(NodeId id, std::vector<ViewEntry> view);
+
   /// One proactive exchange round for `id` (also runs periodically).
   void gossip_now(NodeId id);
 
@@ -73,6 +80,7 @@ class NewscastSystem {
              std::size_t want, Callback cb);
 
   [[nodiscard]] const std::vector<ViewEntry>& view_of(NodeId id) const;
+  [[nodiscard]] const NewscastConfig& config() const { return config_; }
 
   struct Stats {
     std::uint64_t queries = 0;
@@ -97,6 +105,7 @@ class NewscastSystem {
   /// Merge incoming entries into a view: freshest per node, newest first,
   /// truncated to view_size.
   void merge_view(NodeId owner, const std::vector<ViewEntry>& incoming);
+  void start_periodic(NodeId id);
   std::vector<ViewEntry> snapshot_with_self(NodeId id);
   void finish(std::uint64_t qid);
   void query_hop(std::uint64_t qid, NodeId at, std::size_t ttl);

@@ -61,6 +61,51 @@ void IndexSystem::remove_node(NodeId id) {
   last_location_.erase(id);
 }
 
+IndexSystem::ParkedNode IndexSystem::park_node(NodeId id) {
+  SOC_CHECK(state_.contains(id));
+  NodeState& st = state(id);
+  // Moved-from sub-objects are left empty, so the departure teardown that
+  // follows re-homes nothing to the takeover node.
+  return ParkedNode{std::move(st.cache), std::move(st.pi),
+                    std::move(st.table), st.rng};
+}
+
+void IndexSystem::restore_node(NodeId id, ParkedNode parked) {
+  SOC_CHECK(space_.contains(id));
+  parked.cache.prune(sim_.now());
+  // Keep what the node's new zone still covers; everything else goes back
+  // through the normal state-update routing to its current duty node.
+  std::vector<Record> keep =
+      parked.cache.extract_in_zone(space_.zone_of(id), sim_.now());
+  std::vector<Record> reroute = parked.cache.extract_all();
+  for (const Record& r : keep) parked.cache.put(r);
+  // The CanSpace join that preceded this restore split a zone, and the
+  // rehome listener materialized a fresh NodeState to receive the split
+  // zone's records — fold those into the parked cache (they are in-zone
+  // by construction) and resume on the parked state.
+  if (NodeState* fresh = state_.find(id)) {
+    for (const Record& r : fresh->cache.extract_all()) parked.cache.put(r);
+    state_.erase(id);
+  }
+  state_.emplace(id, NodeState{std::move(parked.cache), std::move(parked.pi),
+                               std::move(parked.table), parked.rng});
+  for (const Record& r : reroute) {
+    route(id, r.location, net::MsgType::kStateUpdate, config_.state_msg_bytes,
+          [this, r](NodeId duty) {
+            if (!state_.contains(duty)) return;
+            cache(duty).put(r);
+          });
+  }
+  // The parked index table is stale (the neighborhood changed while cut
+  // off); bootstrap probes rebuild it like a join, and stale fingers are
+  // skipped by routing's contains() guards until then.
+  for (std::size_t d = 0; d < space_.dims(); ++d) {
+    probe_now(id, d, can::Direction::kNegative);
+    probe_now(id, d, can::Direction::kPositive);
+  }
+  start_periodics(id);
+}
+
 std::vector<NodeId> IndexSystem::tracked_ids() const {
   std::vector<NodeId> out;
   out.reserve(state_.size());

@@ -97,6 +97,31 @@ class IndexSystem {
   void remove_node(NodeId id);
   [[nodiscard]] bool tracks(NodeId id) const { return state_.contains(id); }
 
+  /// A partitioned-out member's protocol state, extracted by park_node()
+  /// before the overlay teardown and handed back to restore_node() at heal
+  /// time.  The RNG rides along so the node's draw stream survives the cut.
+  struct ParkedNode {
+    RecordStore cache;
+    PiList pi;
+    IndexTable table;
+    Rng rng;
+  };
+
+  /// Extract `id`'s full NodeState ahead of a partition teardown.  The
+  /// caller runs the normal departure path next (remove_node + space
+  /// leave); because the state moves out *first*, the takeover node
+  /// re-homes an empty cache — records behind the cut are unreachable from
+  /// the majority until the heal.
+  [[nodiscard]] ParkedNode park_node(NodeId id);
+
+  /// Re-enter `id` (already re-joined to the CanSpace) with its parked
+  /// stale state.  Reconciliation rides the existing maintenance paths:
+  /// expired records are pruned, records the node's new zone no longer
+  /// covers are re-routed to their current duty nodes as ordinary state
+  /// updates, the stale index table refreshes via bootstrap probes, and
+  /// the periodic processes restart on the parked RNG stream.
+  void restore_node(NodeId id, ParkedNode parked);
+
   [[nodiscard]] RecordStore& cache(NodeId id);
   [[nodiscard]] PiList& pi_list(NodeId id);
   [[nodiscard]] IndexTable& table(NodeId id);

@@ -27,6 +27,10 @@ index::RecordStore& KhdnSystem::cache(NodeId id) { return caches_[id]; }
 void KhdnSystem::add_node(NodeId id) {
   SOC_CHECK(space_.contains(id));
   caches_[id];  // materialize
+  start_periodic(id);
+}
+
+void KhdnSystem::start_periodic(NodeId id) {
   sim_.schedule_periodic(
       config_.state_update_period,
       [this, id] {
@@ -40,6 +44,39 @@ void KhdnSystem::add_node(NodeId id) {
 }
 
 void KhdnSystem::remove_node(NodeId id) { caches_.erase(id); }
+
+index::RecordStore KhdnSystem::park_node(NodeId id) {
+  SOC_CHECK(caches_.contains(id));
+  // The moved-from cache stays in place (empty) until the departure
+  // teardown erases it, so nothing re-homes to the takeover node.
+  return std::move(caches_.at(id));
+}
+
+void KhdnSystem::restore_node(NodeId id, index::RecordStore store) {
+  SOC_CHECK(space_.contains(id));
+  store.prune(sim_.now());
+  std::vector<index::Record> keep =
+      store.extract_in_zone(space_.zone_of(id), sim_.now());
+  std::vector<index::Record> reroute = store.extract_all();
+  for (const auto& r : keep) store.put(r);
+  // The CanSpace join that preceded this restore split a zone, and the
+  // rehome listener materialized a fresh cache to receive the split
+  // zone's records — fold those in (in-zone by construction).
+  if (index::RecordStore* fresh = caches_.find(id)) {
+    for (const auto& r : fresh->extract_all()) store.put(r);
+    caches_.erase(id);
+  }
+  caches_.emplace(id, std::move(store));
+  for (const auto& r : reroute) {
+    can::route_greedy(space_, bus_, id, r.location,
+                      net::MsgType::kStateUpdate, config_.state_msg_bytes,
+                      config_.route_ttl, [this, r](NodeId duty) {
+                        if (!caches_.contains(duty)) return;
+                        cache(duty).put(r);
+                      });
+  }
+  start_periodic(id);
+}
 
 std::vector<NodeId> KhdnSystem::tracked_ids() const {
   std::vector<NodeId> out;

@@ -61,6 +61,16 @@ class KhdnSystem {
   void remove_node(NodeId id);
   [[nodiscard]] bool tracks(NodeId id) const { return caches_.contains(id); }
 
+  /// Extract `id`'s duty cache ahead of a partition teardown (the caller
+  /// runs the normal departure path next, which then re-homes nothing).
+  [[nodiscard]] index::RecordStore park_node(NodeId id);
+  /// Re-enter `id` (already re-joined to the CanSpace) with its parked
+  /// stale cache: expired records are pruned, records outside the new zone
+  /// are re-routed to their current duty nodes as plain state updates (no
+  /// K-hop re-spread — reconciliation is unicast), and the periodic
+  /// publisher restarts.
+  void restore_node(NodeId id, index::RecordStore cache);
+
   /// Note: materializes an empty cache for an untracked id (join path);
   /// oracles must stick to tracked_ids().
   [[nodiscard]] index::RecordStore& cache(NodeId id);
@@ -94,6 +104,7 @@ class KhdnSystem {
     Callback cb;
   };
 
+  void start_periodic(NodeId id);
   void spread(NodeId at, const index::Record& record, std::size_t hops_left);
   void scan_visit(std::uint64_t qid, NodeId at, std::size_t hops_left);
   void finish(std::uint64_t qid);

@@ -1,0 +1,92 @@
+// Correlated link faults on top of the Topology's clean delay model.
+//
+// The paper's setting treats the network as uniform LAN/WAN delay with
+// independent per-message behavior; production overlays die from
+// *correlated* faults instead.  LinkModel adds, strictly opt-in:
+//
+//   * burst loss — one Gilbert–Elliott two-state chain per link class
+//     (LAN, WAN), stepped once per message crossing that class, so losses
+//     cluster in bursts instead of arriving i.i.d.;
+//   * reordering — a probabilistic extra delay on individual messages, so
+//     a later send can overtake an earlier one on the same link class;
+//   * duplication — a message occasionally arrives twice (the copy is
+//     billed as a second send, keeping the conservation law exact);
+//   * stragglers — a deterministic per-node fraction of hosts whose links
+//     run a constant factor slower in both directions.
+//
+// Everything draws from one named fork of the simulator's root RNG
+// ("link-model", created only when the model is enabled), so enabling the
+// model never perturbs any existing stream and every faulty schedule stays
+// seed-replayable.  A default LinkFaultConfig is disabled and leaves the
+// MessageBus bit-identical to a build without this layer.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/common/types.hpp"
+#include "src/net/topology.hpp"
+
+namespace soc::net {
+
+/// Parameters of one Gilbert–Elliott burst-loss chain: the link class
+/// oscillates between a good and a bad state with the given per-message
+/// transition probabilities and drops messages at the state's loss rate.
+struct GilbertElliott {
+  double p_enter_bad = 0.0;  ///< P(good → bad) per message
+  double p_exit_bad = 0.0;   ///< P(bad → good) per message
+  double loss_good = 0.0;    ///< loss probability while good
+  double loss_bad = 0.0;     ///< loss probability while bad
+};
+
+struct LinkFaultConfig {
+  bool enabled = false;  ///< master switch; default keeps goldens identical
+  GilbertElliott lan;    ///< chain stepped by same-LAN messages
+  GilbertElliott wan;    ///< chain stepped by cross-LAN messages
+  double reorder_probability = 0.0;  ///< P(extra delay) per message
+  double reorder_extra_delay_s = 0.0;  ///< uniform [0, this] extra seconds
+  double duplicate_probability = 0.0;  ///< P(second delivery) per message
+  double straggler_fraction = 0.0;   ///< fraction of hosts that straggle
+  double straggler_multiplier = 1.0; ///< delay factor on straggler links
+};
+
+class LinkModel {
+ public:
+  /// What happens to one message: drawn once at send time so the whole
+  /// trajectory is a function of the seed alone.
+  struct Fate {
+    bool lost = false;
+    bool duplicate = false;
+    double delay_multiplier = 1.0;    ///< straggler slowdown (≥ 1)
+    SimTime extra_delay = 0;          ///< reordering jitter
+    double duplicate_delay_factor = 1.0;  ///< copy delay = delay · factor
+  };
+
+  LinkModel(const Topology& topo, LinkFaultConfig config, Rng rng);
+
+  /// Step the link-class chain for (from, to) and draw the message's fate.
+  [[nodiscard]] Fate apply(NodeId from, NodeId to);
+
+  /// Straggler slowdown of one host (1.0 for non-stragglers).  Derived
+  /// from a per-id RNG fork, so it does not depend on first-send order.
+  [[nodiscard]] double straggler_multiplier_of(NodeId id);
+
+  /// Chain state, for tests: is the given link class currently bad?
+  [[nodiscard]] bool in_bad_state(bool wan) const {
+    return wan ? wan_bad_ : lan_bad_;
+  }
+
+  [[nodiscard]] const LinkFaultConfig& config() const { return config_; }
+
+ private:
+  const Topology& topo_;
+  LinkFaultConfig config_;
+  Rng rng_;
+  Rng straggler_rng_;  ///< forked per id; never stepped directly
+  bool lan_bad_ = false;
+  bool wan_bad_ = false;
+  std::vector<double> straggler_cache_;  ///< dense by NodeId, lazy
+};
+
+}  // namespace soc::net

@@ -1,5 +1,6 @@
 #include "src/net/message_bus.hpp"
 
+#include <algorithm>
 #include <numeric>
 #include <utility>
 
@@ -60,6 +61,12 @@ void TrafficStats::on_lost(MsgType type) {
   ++lost_[static_cast<std::size_t>(type)];
 }
 
+void TrafficStats::on_partitioned(MsgType type) {
+  SOC_DCHECK(in_flight_[static_cast<std::size_t>(type)] > 0);
+  --in_flight_[static_cast<std::size_t>(type)];
+  ++partitioned_[static_cast<std::size_t>(type)];
+}
+
 std::uint64_t TrafficStats::sent(MsgType type) const {
   return by_type_[static_cast<std::size_t>(type)];
 }
@@ -70,6 +77,15 @@ std::uint64_t TrafficStats::delivered(MsgType type) const {
 
 std::uint64_t TrafficStats::lost(MsgType type) const {
   return lost_[static_cast<std::size_t>(type)];
+}
+
+std::uint64_t TrafficStats::partitioned(MsgType type) const {
+  return partitioned_[static_cast<std::size_t>(type)];
+}
+
+std::uint64_t TrafficStats::total_partitioned() const {
+  return std::accumulate(partitioned_.begin(), partitioned_.end(),
+                         std::uint64_t{0});
 }
 
 std::uint64_t TrafficStats::total_sent() const {
@@ -107,6 +123,7 @@ void TrafficStats::reset() {
   by_type_.fill(0);
   delivered_.fill(0);
   lost_.fill(0);
+  partitioned_.fill(0);
   in_flight_.fill(0);
   synthetic_.fill(0);
   bytes_ = 0;
@@ -119,23 +136,90 @@ void MessageBus::set_liveness(std::function<bool(NodeId)> is_alive) {
   is_alive_ = std::move(is_alive);
 }
 
+void MessageBus::enable_link_faults(const LinkFaultConfig& config) {
+  SOC_CHECK(config.enabled);
+  link_model_ =
+      std::make_unique<LinkModel>(topo_, config, sim_.rng().fork("link-model"));
+}
+
+void MessageBus::set_partition(std::vector<std::size_t> cut_lans) {
+  SOC_CHECK(!cut_lans.empty());
+  cut_lans_ = std::move(cut_lans);
+  std::sort(cut_lans_.begin(), cut_lans_.end());
+}
+
+void MessageBus::clear_partition() { cut_lans_.clear(); }
+
+bool MessageBus::in_partition_cut(NodeId id) const {
+  return std::binary_search(cut_lans_.begin(), cut_lans_.end(),
+                            topo_.lan_of(id));
+}
+
 void MessageBus::send(NodeId from, NodeId to, MsgType type, std::size_t bytes,
                       DeliverFn on_deliver) {
   SOC_CHECK(from.valid() && to.valid());
   stats_.on_send(from, type, bytes);
-  SimTime delay;
   if (from == to) {
-    delay = 1;  // loopback: negligible but strictly positive for causality
-  } else {
-    delay = topo_.transfer_delay(from, to, bytes, jitter_rng_);
+    // Loopback: negligible but strictly positive delay for causality; never
+    // touches the network, so partitions and link faults do not apply.
+    park_and_schedule(1, to, type, Fate::kDeliver, std::move(on_deliver));
+    return;
+  }
+  SimTime delay = topo_.transfer_delay(from, to, bytes, jitter_rng_);
+
+  if (partition_active() && in_partition_cut(from) != in_partition_cut(to)) {
+    // Sealed at send time: the message is already on a link that just went
+    // dark.  It is resolved (and accounted) at its would-be arrival.
+    park_and_schedule(delay, to, type, Fate::kPartitioned,
+                      std::move(on_deliver));
+    return;
   }
 
+  Fate fate = Fate::kDeliver;
+  bool duplicate = false;
+  SimTime dup_delay = delay;
+  if (link_model_) {
+    const LinkModel::Fate f = link_model_->apply(from, to);
+    if (f.lost) fate = Fate::kLost;
+    delay = std::max<SimTime>(
+        static_cast<SimTime>(static_cast<double>(delay) * f.delay_multiplier) +
+            f.extra_delay,
+        1);
+    if (f.duplicate && fate == Fate::kDeliver) {
+      duplicate = true;
+      dup_delay = std::max<SimTime>(
+          static_cast<SimTime>(static_cast<double>(delay) *
+                               f.duplicate_delay_factor),
+          delay + 1);
+    }
+  }
+
+  if (!duplicate) {
+    park_and_schedule(delay, to, type, fate, std::move(on_deliver));
+    return;
+  }
+  // Duplication: the copy is real traffic, billed as a second send so the
+  // conservation law stays exact.  The callback is shared (InlineFn is
+  // move-only but repeatedly invocable); each arrival invokes it once.
+  stats_.on_send(from, type, bytes);
+  auto shared = std::make_shared<DeliverFn>(std::move(on_deliver));
+  park_and_schedule(delay, to, type, fate, DeliverFn([shared] {
+                      if (*shared) (*shared)();
+                    }));
+  park_and_schedule(dup_delay, to, type, fate, DeliverFn([shared] {
+                      if (*shared) (*shared)();
+                    }));
+}
+
+void MessageBus::park_and_schedule(SimTime delay, NodeId to, MsgType type,
+                                   Fate fate, DeliverFn fn) {
   // Park the callback in the slab and schedule a slot-sized closure.
   const std::uint32_t slot = pending_.alloc();
   Pending& p = pending_[slot];
-  p.fn = std::move(on_deliver);
+  p.fn = std::move(fn);
   p.to = to;
   p.type = type;
+  p.fate = fate;
   sim_.schedule_after(delay, [this, slot] { deliver(slot); });
 }
 
@@ -144,8 +228,17 @@ void MessageBus::deliver(std::uint32_t slot) {
   DeliverFn fn = std::move(p.fn);
   const NodeId to = p.to;
   const MsgType type = p.type;
+  const Fate fate = p.fate;
   // Free the slot before invoking: the callback may send more messages.
   pending_.release(slot);
+  if (fate == Fate::kPartitioned) {
+    stats_.on_partitioned(type);  // swallowed by the cut
+    return;
+  }
+  if (fate == Fate::kLost) {
+    stats_.on_lost(type);  // burst loss on the link
+    return;
+  }
   if (is_alive_ && !is_alive_(to)) {
     stats_.on_lost(type);  // message lost to churn
     return;

@@ -6,6 +6,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string_view>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "src/common/rng.hpp"
 #include "src/common/slab.hpp"
 #include "src/common/types.hpp"
+#include "src/net/link_model.hpp"
 #include "src/net/topology.hpp"
 #include "src/sim/simulator.hpp"
 
@@ -38,32 +40,39 @@ enum class MsgType : std::uint8_t {
 
 /// Traffic accounting across the whole simulation.  Alongside the paper's
 /// sent-side cost metric, delivery outcomes are tracked per type: a message
-/// either reaches a live destination (delivered) or is dropped because the
-/// destination churned out before arrival (lost).
+/// either reaches a live destination (delivered), is dropped because the
+/// destination churned out or the link lost it (lost), or is swallowed by
+/// an active network partition (partitioned — accounted separately so
+/// partition damage is distinguishable from churn/burst loss).
 class TrafficStats {
  public:
   void on_send(NodeId from, MsgType type, std::size_t bytes);
   void on_delivered(MsgType type);
   void on_lost(MsgType type);
+  /// A cross-partition message reached its would-be arrival time: resolved
+  /// as partitioned, never delivered.
+  void on_partitioned(MsgType type);
   /// Sent-side-only accounting charge with no simulated delivery (the
   /// protocols bill join/leave maintenance traffic this way).  Counts
   /// toward sent()/per_node_cost like a real send, but is tracked
   /// separately so the conservation law stays exact:
-  ///   sent == delivered + lost + in_flight + synthetic, per type.
+  ///   sent == delivered + lost + partitioned + in_flight + synthetic.
   void on_synthetic_send(NodeId from, MsgType type, std::size_t bytes);
 
   [[nodiscard]] std::uint64_t sent(MsgType type) const;
   [[nodiscard]] std::uint64_t delivered(MsgType type) const;
   [[nodiscard]] std::uint64_t lost(MsgType type) const;
+  [[nodiscard]] std::uint64_t partitioned(MsgType type) const;
   [[nodiscard]] std::uint64_t total_sent() const;
   [[nodiscard]] std::uint64_t total_delivered() const;
   [[nodiscard]] std::uint64_t total_lost() const;
+  [[nodiscard]] std::uint64_t total_partitioned() const;
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_; }
 
-  /// Messages sent but not yet resolved to delivered/lost.  Together with
-  /// the above this pins the per-type conservation law the sim_fuzz
-  /// harness asserts at every instant:
-  ///   sent == delivered + lost + in_flight + synthetic, per MsgType.
+  /// Messages sent but not yet resolved.  Together with the above this
+  /// pins the per-type conservation law the sim_fuzz harness asserts at
+  /// every instant:
+  ///   sent == delivered + lost + partitioned + in_flight + synthetic.
   [[nodiscard]] std::uint64_t in_flight(MsgType type) const;
   [[nodiscard]] std::uint64_t total_in_flight() const;
   [[nodiscard]] std::uint64_t synthetic(MsgType type) const;
@@ -81,6 +90,7 @@ class TrafficStats {
   std::array<std::uint64_t, kTypes> by_type_{};
   std::array<std::uint64_t, kTypes> delivered_{};
   std::array<std::uint64_t, kTypes> lost_{};
+  std::array<std::uint64_t, kTypes> partitioned_{};
   std::array<std::uint64_t, kTypes> in_flight_{};
   std::array<std::uint64_t, kTypes> synthetic_{};
   std::uint64_t bytes_ = 0;
@@ -105,9 +115,30 @@ class MessageBus {
 
   /// Send `bytes` from `from` to `to`; `on_deliver` runs at arrival time if
   /// the destination is still alive then.  Self-sends deliver after a
-  /// minimal local delay.
+  /// minimal local delay (and bypass partitions and link faults).
   void send(NodeId from, NodeId to, MsgType type, std::size_t bytes,
             DeliverFn on_deliver);
+
+  /// Attach the opt-in correlated-fault layer (burst loss, reordering,
+  /// duplication, stragglers).  Forks the "link-model" RNG stream from the
+  /// simulator root — only here, so a bus without faults draws the exact
+  /// same streams as before this layer existed.
+  void enable_link_faults(const LinkFaultConfig& config);
+  [[nodiscard]] const LinkModel* link_model() const {
+    return link_model_.get();
+  }
+
+  /// Partition the network: messages between a host inside the cut LAN
+  /// set and one outside resolve as `partitioned` at their would-be
+  /// arrival time (the fate is sealed at send time, so a message in
+  /// flight across the cut when it heals is still swallowed).  Replaces
+  /// any previous cut.
+  void set_partition(std::vector<std::size_t> cut_lans);
+  /// Heal: subsequent sends cross freely again.
+  void clear_partition();
+  [[nodiscard]] bool partition_active() const { return !cut_lans_.empty(); }
+  /// Is this host inside the cut LAN set of the active partition?
+  [[nodiscard]] bool in_partition_cut(NodeId id) const;
 
   [[nodiscard]] TrafficStats& stats() { return stats_; }
   [[nodiscard]] const TrafficStats& stats() const { return stats_; }
@@ -118,13 +149,20 @@ class MessageBus {
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
 
  private:
+  /// Per-message outcome, sealed at send time (deterministic replay) and
+  /// resolved when the message reaches its would-be arrival time.
+  enum class Fate : std::uint8_t { kDeliver, kLost, kPartitioned };
+
   struct Pending {
     DeliverFn fn;
     NodeId to;
     MsgType type = MsgType::kCount;
+    Fate fate = Fate::kDeliver;
   };
 
   void deliver(std::uint32_t slot);
+  void park_and_schedule(SimTime delay, NodeId to, MsgType type, Fate fate,
+                         DeliverFn fn);
 
   sim::Simulator& sim_;
   const Topology& topo_;
@@ -132,6 +170,8 @@ class MessageBus {
   TrafficStats stats_;
   std::function<bool(NodeId)> is_alive_;
   Slab<Pending> pending_;
+  std::unique_ptr<LinkModel> link_model_;  ///< null unless faults enabled
+  std::vector<std::size_t> cut_lans_;      ///< sorted; empty = no partition
 };
 
 }  // namespace soc::net

@@ -23,8 +23,14 @@ struct TopologyConfig {
   double latency_jitter = 0.1;          ///< ± fraction applied per message
 };
 
-/// Static-plus-growable host topology.  Hosts added later (churn joins)
-/// are assigned to LANs round-robin so LAN populations stay balanced.
+/// Static-plus-growable host topology.  Hosts fill LANs sequentially in
+/// arrival order (`lan = host_index / lan_size`): each LAN fills to
+/// capacity before the next opens, so churn joins land in the newest LAN —
+/// cohort arrivals share a site, which is what makes LAN-level partitions
+/// spatially correlated.  (The topology never learns about departures, so
+/// alive populations per LAN can drift below lan_size; "balancing" against
+/// liveness is not possible at this layer and is deliberately not
+/// attempted — the sequential rule is pinned by the golden trajectories.)
 class Topology {
  public:
   Topology(TopologyConfig config, Rng rng);
@@ -36,6 +42,10 @@ class Topology {
 
   [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
   [[nodiscard]] std::size_t lan_of(NodeId id) const;
+  /// Number of LAN groups opened so far (the last one may be partial).
+  [[nodiscard]] std::size_t lan_count() const {
+    return lan_bandwidth_mbps_.size();
+  }
   [[nodiscard]] bool same_lan(NodeId a, NodeId b) const;
 
   /// Effective bandwidth between two hosts in Mbps.

@@ -18,6 +18,7 @@ void ScenarioEngine::install() {
   schedule_phase_churn();
   schedule_bursts();
   schedule_failures();
+  schedule_partitions();
 }
 
 // ---------------------------------------------------------------------------
@@ -119,6 +120,46 @@ void ScenarioEngine::mass_failure(const MassFailure& f) {
     ex_.scenario_depart(v);
     ++counters_.failure_kills;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Partitions with heal
+
+void ScenarioEngine::schedule_partitions() {
+  sim::Simulator& sim = ex_.simulator();
+  const SimTime horizon = ex_.config().duration;
+  for (const Partition& p : spec_.partitions) {
+    if (p.at > horizon) continue;
+    sim.schedule_at(std::max<SimTime>(p.at, 1),
+                    [this, p] { start_partition(p); });
+  }
+}
+
+void ScenarioEngine::start_partition(const Partition& p) {
+  if (ex_.partition_active()) {
+    // Overlapping partitions do not compose (one cut set at the bus);
+    // count the skip so fuzz-failure context shows the schedule collision.
+    ++counters_.partitions_skipped;
+    return;
+  }
+  // The epicenter LAN is a random draw; the experiment grows the cut from
+  // there along consecutive (wrapping) LAN groups.
+  const std::size_t start_lan = rng_.pick_index(ex_.lan_count());
+  if (!ex_.scenario_partition(p.fraction, start_lan)) {
+    ++counters_.partitions_skipped;
+    return;
+  }
+  ++counters_.partitions_started;
+  counters_.partition_detached += ex_.partitioned_ids().size();
+  const SimTime heal_at = p.at + p.duration;
+  if (heal_at <= ex_.config().duration) {
+    ex_.simulator().schedule_at(heal_at, [this] {
+      ex_.scenario_heal();
+      ++counters_.heals;
+    });
+  }
+  // A partition outliving the horizon never heals inside the run: the
+  // run-end invariants then check the partitioned steady state instead.
 }
 
 std::vector<NodeId> ScenarioEngine::spatial_victims(std::size_t k) {

@@ -29,6 +29,10 @@ class ScenarioEngine {
     std::uint64_t churn_events = 0;   ///< phased-churn depart+join pairs
     std::uint64_t burst_joins = 0;
     std::uint64_t failure_kills = 0;
+    std::uint64_t partitions_started = 0;  ///< cuts actually applied
+    std::uint64_t partitions_skipped = 0;  ///< overlapped an active cut
+    std::uint64_t partition_detached = 0;  ///< hosts cut off, cumulative
+    std::uint64_t heals = 0;
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
@@ -36,6 +40,8 @@ class ScenarioEngine {
   void schedule_phase_churn();
   void schedule_bursts();
   void schedule_failures();
+  void schedule_partitions();
+  void start_partition(const Partition& p);
   void churn_tick();
   void mass_failure(const MassFailure& f);
   /// Victims of a spatial failure: the k members whose zone centers lie

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <map>
 
 #include "src/can/space.hpp"
@@ -119,26 +120,52 @@ InvariantReport check_invariants(core::Experiment& ex, Rng& rng) {
   chk.expect(ex.simulator().verify_queue_integrity(),
              "event queue heap/slab integrity");
 
-  // 3. Per-MsgType message conservation.
+  // 3. Per-MsgType message conservation (every fate accounted exactly once,
+  // including partition swallows).
   const net::TrafficStats& stats = ex.bus().stats();
   for (std::size_t t = 0; t < static_cast<std::size_t>(net::MsgType::kCount);
        ++t) {
     const auto type = static_cast<net::MsgType>(t);
     const std::uint64_t sent = stats.sent(type);
     const std::uint64_t resolved = stats.delivered(type) + stats.lost(type) +
+                                   stats.partitioned(type) +
                                    stats.in_flight(type) +
                                    stats.synthetic(type);
-    chk.expect(
-        sent == resolved,
-        std::string(net::msg_type_name(type)) +
-            " conservation broken: sent=" + std::to_string(sent) +
-            " delivered+lost+in_flight+synthetic=" + std::to_string(resolved));
+    chk.expect(sent == resolved,
+               std::string(net::msg_type_name(type)) +
+                   " conservation broken: sent=" + std::to_string(sent) +
+                   " delivered+lost+partitioned+in_flight+synthetic=" +
+                   std::to_string(resolved));
   }
   chk.expect(ex.bus().in_flight() == stats.total_in_flight(),
              "bus slab occupancy != per-type in-flight totals");
 
-  // 4–6. Overlay + index layers, per protocol family.
-  const std::vector<NodeId> alive = ex.alive_ids();
+  // 4. Partition bookkeeping: the cut set only holds alive hosts, the
+  // protocol's parked state mirrors it exactly, and no messages can be
+  // swallowed without a cut ever having been active.
+  const std::vector<NodeId>& cut = ex.partitioned_ids();
+  if (!ex.partition_active()) {
+    chk.expect(cut.empty(), "partitioned ids linger after heal");
+  }
+  for (const NodeId id : cut) {
+    chk.expect(ex.host_alive(id),
+               "partitioned id " + std::to_string(id.value) + " is dead");
+  }
+  chk.expect(same_ids(ex.protocol().parked_ids(), cut),
+             ex.protocol().name() +
+                 ": parked protocol state != experiment's partitioned set");
+
+  // 5–7. Overlay + index layers, per protocol family.  Partitioned hosts
+  // are alive but out of the overlay, so the membership oracle is
+  // alive-minus-partitioned.
+  std::vector<NodeId> alive = ex.alive_ids();
+  if (!cut.empty()) {
+    std::vector<NodeId> connected;
+    connected.reserve(alive.size());
+    std::set_difference(alive.begin(), alive.end(), cut.begin(), cut.end(),
+                        std::back_inserter(connected));
+    alive = std::move(connected);
+  }
   if (auto* pid = dynamic_cast<core::PidCanProtocol*>(&ex.protocol())) {
     check_can_space(chk, pid->space(), alive, pid->name());
     index::IndexSystem& index = pid->index();

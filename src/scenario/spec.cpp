@@ -47,6 +47,10 @@ std::string ScenarioSpec::describe() const {
     append(out, " fail(t=%.0fs frac=%.2f %s)", to_seconds(f.at), f.fraction,
            f.spatial ? "spatial" : "cohort");
   }
+  for (const Partition& p : partitions) {
+    append(out, " part(t=%.0fs frac=%.2f heal=%.0fs)", to_seconds(p.at),
+           p.fraction, to_seconds(p.duration));
+  }
   if (skew.enabled()) {
     append(out, " skew(weak=%.2fx%.2f strong=%.2fx%.2f)", skew.weak_fraction,
            skew.weak_scale, skew.strong_fraction, skew.strong_scale);
@@ -111,6 +115,24 @@ ScenarioSpec random_spec(Rng& rng, SimTime horizon) {
     spec.skew.weak_scale = rng.uniform(0.3, 0.8);
     spec.skew.strong_fraction = rng.uniform(0.05, 0.2);
     spec.skew.strong_scale = rng.uniform(1.5, 3.0);
+  }
+
+  // Network partitions: up to 2, each cutting 10–45% of the population
+  // along LAN boundaries for 10–35% of the run, then healing.  Appended
+  // *after* all pre-existing draws so a given seed still produces the same
+  // churn/burst/failure/skew schedule it did before partitions existed.
+  if (rng.chance(0.4)) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 2));
+    for (std::size_t i = 0; i < n; ++i) {
+      Partition p;
+      p.at = seconds(rng.uniform(0.15, 0.6) * h);
+      p.fraction = rng.uniform(0.1, 0.45);
+      p.duration = seconds(rng.uniform(0.1, 0.35) * h);
+      spec.partitions.push_back(p);
+    }
+    std::sort(
+        spec.partitions.begin(), spec.partitions.end(),
+        [](const Partition& a, const Partition& b) { return a.at < b.at; });
   }
 
   return spec;

@@ -55,6 +55,18 @@ struct MassFailure {
   bool spatial = false;
 };
 
+/// Network partition with heal: at time `at`, whole LAN groups covering
+/// ≈ `fraction` of the alive population are cut off at the bus (cross-cut
+/// messages resolve as `partitioned`, hosts stay up, protocol state is
+/// parked via on_partition_out); after `duration` the cut heals and
+/// survivors rejoin with their stale parked state.  Overlapping partitions
+/// do not compose: a partition firing while one is active is skipped.
+struct Partition {
+  SimTime at = 0;
+  double fraction = 0.0;
+  SimTime duration = 0;
+};
+
 /// Heterogeneous node capacities: a fraction of joining hosts is scaled
 /// weak, another fraction strong.  Applied by wiring the skew into the
 /// workload NodeGenerator, so it covers both the initial population and
@@ -77,11 +89,12 @@ struct ScenarioSpec {
   std::vector<ChurnPhase> phases;    ///< sorted by start
   std::vector<JoinBurst> bursts;     ///< sorted by at
   std::vector<MassFailure> failures; ///< sorted by at
+  std::vector<Partition> partitions; ///< sorted by at
   CapacitySkew skew;
 
   [[nodiscard]] bool enabled() const {
     return !phases.empty() || !bursts.empty() || !failures.empty() ||
-           skew.enabled();
+           !partitions.empty() || skew.enabled();
   }
 
   /// Churn degree in force at time `t` (0 before the first phase).

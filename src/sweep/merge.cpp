@@ -75,6 +75,9 @@ std::optional<MergedReport> merge_shards(const std::string& dir,
       s.failed += c->failed;
       s.events += c->events;
       s.messages += c->messages;
+      s.messages_partitioned += c->messages_partitioned;
+      s.stale_dead_provider += c->stale_dead_provider;
+      s.stale_misplaced += c->stale_misplaced;
     }
     s.t_ratio_mean = t.mean();
     s.t_ratio_median = median(ts);
@@ -129,7 +132,9 @@ bool write_merged_report(const std::string& path, const SweepSpec& spec,
         "      \"fairness_mean\": %.9g, \"fairness_ci95\": %.9g,\n"
         "      \"msgs_per_node_mean\": %.9g, "
         "\"avg_query_delay_s_mean\": %.9g,\n"
-        "      \"generated\": %llu, \"finished\": %llu, \"failed\": %llu }",
+        "      \"generated\": %llu, \"finished\": %llu, \"failed\": %llu,\n"
+        "      \"messages_partitioned\": %llu,\n"
+        "      \"stale_dead_provider\": %llu, \"stale_misplaced\": %llu }",
         i > 0 ? "," : "", s.group.c_str(),
         static_cast<unsigned long long>(s.events),
         static_cast<unsigned long long>(s.messages), s.repeats, s.t_ratio_mean,
@@ -137,7 +142,10 @@ bool write_merged_report(const std::string& path, const SweepSpec& spec,
         s.f_ratio_ci95, s.fairness_mean, s.fairness_ci95, s.msgs_per_node_mean,
         s.avg_query_delay_s_mean, static_cast<unsigned long long>(s.generated),
         static_cast<unsigned long long>(s.finished),
-        static_cast<unsigned long long>(s.failed));
+        static_cast<unsigned long long>(s.failed),
+        static_cast<unsigned long long>(s.messages_partitioned),
+        static_cast<unsigned long long>(s.stale_dead_provider),
+        static_cast<unsigned long long>(s.stale_misplaced));
     out += buf;
   }
   out += "\n  ]\n}\n";
@@ -147,13 +155,16 @@ bool write_merged_report(const std::string& path, const SweepSpec& spec,
 void print_merged_table(const MergedReport& report) {
   std::printf("\n## merged sweep (%zu cells, %zu groups, %zu shards)\n",
               report.cells.size(), report.groups.size(), report.shards_total);
-  std::printf("%-34s %4s %18s %18s %9s %12s\n", "config", "rep",
-              "T-Ratio (±95%)", "F-Ratio (±95%)", "fairness", "msgs/node");
+  std::printf("%-34s %4s %18s %18s %9s %12s %12s\n", "config", "rep",
+              "T-Ratio (±95%)", "F-Ratio (±95%)", "fairness", "msgs/node",
+              "stale-debt");
   for (const GroupStats& s : report.groups) {
-    std::printf("%-34s %4zu %9.3f ±%6.3f %9.3f ±%6.3f %9.3f %12.0f\n",
+    std::printf("%-34s %4zu %9.3f ±%6.3f %9.3f ±%6.3f %9.3f %12.0f %12llu\n",
                 s.group.c_str(), s.repeats, s.t_ratio_mean, s.t_ratio_ci95,
                 s.f_ratio_mean, s.f_ratio_ci95, s.fairness_mean,
-                s.msgs_per_node_mean);
+                s.msgs_per_node_mean,
+                static_cast<unsigned long long>(s.stale_dead_provider +
+                                                s.stale_misplaced));
   }
 }
 

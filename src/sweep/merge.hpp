@@ -35,6 +35,9 @@ struct GroupStats {
   double avg_query_delay_s_mean = 0.0;
   std::uint64_t generated = 0, finished = 0, failed = 0;  ///< summed
   std::uint64_t events = 0, messages = 0;                 ///< summed
+  std::uint64_t messages_partitioned = 0;                 ///< summed
+  /// Stale-record debt at run end, summed over repeats.
+  std::uint64_t stale_dead_provider = 0, stale_misplaced = 0;
 };
 
 struct MergedReport {

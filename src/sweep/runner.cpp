@@ -43,6 +43,9 @@ ShardResult run_shard(const Shard& shard, std::uint64_t spec_fingerprint,
     out.messages = r.total_messages;
     out.messages_delivered = r.messages_delivered;
     out.messages_lost = r.messages_lost;
+    out.messages_partitioned = r.messages_partitioned;
+    out.stale_dead_provider = r.stale_records_dead_provider;
+    out.stale_misplaced = r.stale_records_misplaced;
     out.wall_seconds = dt.count();
     result.cells.push_back(std::move(out));
   }
@@ -78,7 +81,8 @@ bool write_shard_result(const std::string& dir, const ShardResult& result) {
         "      \"msgs_per_node\": %.17g, \"avg_query_delay_s\": %.17g,\n"
         "      \"generated\": %llu, \"finished\": %llu, \"failed\": %llu,\n"
         "      \"events\": %llu, \"messages\": %llu,\n"
-        "      \"delivered\": %llu, \"lost\": %llu,\n"
+        "      \"delivered\": %llu, \"lost\": %llu, \"partitioned\": %llu,\n"
+        "      \"stale_dead_provider\": %llu, \"stale_misplaced\": %llu,\n"
         "      \"wall_seconds\": %.6f }",
         i > 0 ? "," : "", c.key.c_str(), c.group.c_str(),
         static_cast<unsigned long long>(c.seed), c.t_ratio, c.f_ratio,
@@ -89,7 +93,10 @@ bool write_shard_result(const std::string& dir, const ShardResult& result) {
         static_cast<unsigned long long>(c.events),
         static_cast<unsigned long long>(c.messages),
         static_cast<unsigned long long>(c.messages_delivered),
-        static_cast<unsigned long long>(c.messages_lost), c.wall_seconds);
+        static_cast<unsigned long long>(c.messages_lost),
+        static_cast<unsigned long long>(c.messages_partitioned),
+        static_cast<unsigned long long>(c.stale_dead_provider),
+        static_cast<unsigned long long>(c.stale_misplaced), c.wall_seconds);
     if (n < 0 || static_cast<std::size_t>(n) >= sizeof(buf)) return false;
     out += buf;
   }
@@ -148,6 +155,10 @@ std::optional<ShardResult> read_shard_result(const std::string& path) {
     c.messages = u64("messages");
     c.messages_delivered = u64("delivered");
     c.messages_lost = u64("lost");
+    // Absent in pre-partition shard files: u64 defaults them to 0.
+    c.messages_partitioned = u64("partitioned");
+    c.stale_dead_provider = u64("stale_dead_provider");
+    c.stale_misplaced = u64("stale_misplaced");
     c.wall_seconds = num("wall_seconds").value_or(0.0);
     r.cells.push_back(std::move(c));
     pos = text->find(needle, block_end - 1);

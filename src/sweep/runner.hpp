@@ -38,6 +38,9 @@ struct CellResult {
   std::uint64_t messages = 0;
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_lost = 0;
+  std::uint64_t messages_partitioned = 0;
+  std::uint64_t stale_dead_provider = 0;
+  std::uint64_t stale_misplaced = 0;
   double wall_seconds = 0.0;  ///< nondeterministic; never merged
 };
 

@@ -213,6 +213,14 @@ std::optional<scenario::ScenarioSpec> scenario_by_name(const std::string& name,
     spec.phases.push_back(scenario::ChurnPhase{seconds(2.0 * d / 3.0), 0.1});
     return spec;
   }
+  if (name == "partition") {
+    // 30% of the population cut off along LAN boundaries at 35% of the
+    // run, healing at 65% — the protocols then spend the last third
+    // digesting stale rejoined state (the stale-record-debt comparison).
+    spec.partitions.push_back(
+        scenario::Partition{seconds(0.35 * d), 0.30, seconds(0.30 * d)});
+    return spec;
+  }
   return std::nullopt;
 }
 

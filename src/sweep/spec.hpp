@@ -42,8 +42,8 @@ struct SweepSpec {
   std::vector<core::ProtocolKind> protocols{core::ProtocolKind::kHidCan};
   std::vector<double> lambdas{0.5};
   std::vector<std::size_t> node_counts{384};
-  /// Scenario axis, by preset name ("none", "flash", "quake", "phased" —
-  /// see scenario_by_name).  Named presets keep cells addressable from a
+  /// Scenario axis, by preset name ("none", "flash", "quake", "phased",
+  /// "partition" — see scenario_by_name).  Named presets keep cells addressable from a
   /// worker command line; arbitrary ScenarioSpecs stay a library-level
   /// Experiment feature.
   std::vector<std::string> scenarios{"none"};
@@ -89,7 +89,9 @@ struct SweepSpec {
 ///   none   — disabled spec;
 ///   flash  — join burst of nodes/4 at 25% of the run over a 10% window;
 ///   quake  — spatial mass failure of 25% of the population at mid-run;
-///   phased — churn phases 0 → 0.5 → 0.1 at 0% / 33% / 66% of the run.
+///   phased — churn phases 0 → 0.5 → 0.1 at 0% / 33% / 66% of the run;
+///   partition — 30% spatial (LAN-boundary) cut at 35% of the run, healing
+///   at 65% (stale-record-debt comparison).
 /// nullopt for unknown names.
 [[nodiscard]] std::optional<scenario::ScenarioSpec> scenario_by_name(
     const std::string& name, SimTime duration, std::size_t nodes);

@@ -1,0 +1,214 @@
+// Correlated link-fault layer (src/net/link_model.hpp): Gilbert–Elliott
+// burst loss, duplication under the conservation law, straggler
+// assignment, and seed determinism of the whole faulty bus.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/net/link_model.hpp"
+#include "src/net/message_bus.hpp"
+#include "src/net/topology.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace soc::net {
+namespace {
+
+TopologyConfig small_config() {
+  TopologyConfig c;
+  c.lan_size = 4;
+  c.latency_jitter = 0.0;
+  return c;
+}
+
+// A chain pinned in the bad state with loss_bad=1 kills every message on
+// its class; the other class (all-zero config) is untouched — per-class
+// chains are independent.
+TEST(LinkModel, BadStateLossHitsOnlyItsLinkClass) {
+  Topology topo(small_config(), Rng(1));
+  topo.add_hosts(8);
+  LinkFaultConfig cfg;
+  cfg.enabled = true;
+  cfg.wan.p_enter_bad = 1.0;  // first WAN message already steps into bad
+  cfg.wan.p_exit_bad = 0.0;
+  cfg.wan.loss_bad = 1.0;
+  LinkModel model(topo, cfg, Rng(2));
+
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(model.apply(NodeId(0), NodeId(4)).lost) << "wan msg " << i;
+    EXPECT_TRUE(model.in_bad_state(/*wan=*/true));
+    EXPECT_FALSE(model.apply(NodeId(0), NodeId(1)).lost) << "lan msg " << i;
+    EXPECT_FALSE(model.in_bad_state(/*wan=*/false));
+  }
+}
+
+// Burst shape: losses cluster.  With a slow entry and fast exit the chain
+// spends most messages good; with certain loss in bad and none in good,
+// every loss coincides with the bad state.
+TEST(LinkModel, LossesTrackTheChainState) {
+  Topology topo(small_config(), Rng(3));
+  topo.add_hosts(8);
+  LinkFaultConfig cfg;
+  cfg.enabled = true;
+  cfg.wan.p_enter_bad = 0.1;
+  cfg.wan.p_exit_bad = 0.5;
+  cfg.wan.loss_bad = 1.0;
+  cfg.wan.loss_good = 0.0;
+  LinkModel model(topo, cfg, Rng(4));
+
+  int losses = 0;
+  for (int i = 0; i < 500; ++i) {
+    const bool lost = model.apply(NodeId(0), NodeId(4)).lost;
+    EXPECT_EQ(lost, model.in_bad_state(/*wan=*/true));
+    losses += lost ? 1 : 0;
+  }
+  // Stationary bad fraction is p_enter/(p_enter+p_exit) = 1/6 of messages;
+  // a wide band keeps the test robust across RNG implementations.
+  EXPECT_GT(losses, 20);
+  EXPECT_LT(losses, 250);
+}
+
+TEST(LinkModel, StragglerAssignmentIsPerNodeAndOrderIndependent) {
+  Topology topo(small_config(), Rng(5));
+  topo.add_hosts(64);
+  LinkFaultConfig cfg;
+  cfg.enabled = true;
+  cfg.straggler_fraction = 0.25;
+  cfg.straggler_multiplier = 3.0;
+
+  LinkModel a(topo, cfg, Rng(6));
+  LinkModel b(topo, cfg, Rng(6));
+  // Query b in reverse order: the assignment is a pure function of
+  // (seed, id), not of first-touch order.
+  std::size_t stragglers = 0;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    const double ma = a.straggler_multiplier_of(NodeId(i));
+    const double mb = b.straggler_multiplier_of(NodeId(63 - i));
+    EXPECT_TRUE(ma == 1.0 || ma == 3.0);
+    EXPECT_EQ(ma, a.straggler_multiplier_of(NodeId(i)));  // memoized
+    stragglers += ma > 1.0 ? 1 : 0;
+    (void)mb;
+  }
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(a.straggler_multiplier_of(NodeId(i)),
+              b.straggler_multiplier_of(NodeId(i)));
+  }
+  // ~16 expected of 64; just require the fraction is neither 0 nor 1.
+  EXPECT_GT(stragglers, 0u);
+  EXPECT_LT(stragglers, 64u);
+
+  // A straggler endpoint slows the whole link (max of both ends).
+  const LinkModel::Fate f = a.apply(NodeId(0), NodeId(4));
+  EXPECT_EQ(f.delay_multiplier,
+            std::max(a.straggler_multiplier_of(NodeId(0)),
+                     a.straggler_multiplier_of(NodeId(4))));
+}
+
+// Duplication bills the copy as a second send, so the conservation law
+// stays exact and the callback runs once per arrival.
+TEST(MessageBusFaults, DuplicationPreservesConservation) {
+  sim::Simulator sim(7);
+  Topology topo(small_config(), Rng(7));
+  topo.add_hosts(8);
+  MessageBus bus(sim, topo);
+  LinkFaultConfig cfg;
+  cfg.enabled = true;
+  cfg.duplicate_probability = 1.0;
+  bus.enable_link_faults(cfg);
+
+  int arrivals = 0;
+  const int kMessages = 25;
+  for (int i = 0; i < kMessages; ++i) {
+    bus.send(NodeId(0), NodeId(4), MsgType::kGossip, 64, [&] { ++arrivals; });
+  }
+  sim.run_all();
+  EXPECT_EQ(arrivals, 2 * kMessages);
+  const TrafficStats& s = bus.stats();
+  EXPECT_EQ(s.sent(MsgType::kGossip), 2u * kMessages);
+  EXPECT_EQ(s.sent(MsgType::kGossip),
+            s.delivered(MsgType::kGossip) + s.lost(MsgType::kGossip) +
+                s.partitioned(MsgType::kGossip) + s.in_flight(MsgType::kGossip) +
+                s.synthetic(MsgType::kGossip));
+  EXPECT_EQ(bus.in_flight(), 0u);
+}
+
+// Under every fault knob at once, the conservation law holds at the end of
+// the run and the whole trajectory is a pure function of the seed.
+TEST(MessageBusFaults, FaultyBusIsConservativeAndSeedDeterministic) {
+  LinkFaultConfig cfg;
+  cfg.enabled = true;
+  cfg.lan.p_enter_bad = 0.05;
+  cfg.lan.p_exit_bad = 0.3;
+  cfg.lan.loss_bad = 0.4;
+  cfg.wan.p_enter_bad = 0.1;
+  cfg.wan.p_exit_bad = 0.3;
+  cfg.wan.loss_good = 0.01;
+  cfg.wan.loss_bad = 0.5;
+  cfg.reorder_probability = 0.2;
+  cfg.reorder_extra_delay_s = 0.5;
+  cfg.duplicate_probability = 0.1;
+  cfg.straggler_fraction = 0.2;
+  cfg.straggler_multiplier = 2.5;
+
+  const auto run = [&cfg](std::uint64_t seed) {
+    sim::Simulator sim(seed);
+    Topology topo(small_config(), Rng(seed));
+    topo.add_hosts(16);
+    MessageBus bus(sim, topo);
+    bus.enable_link_faults(cfg);
+    Rng traffic(seed + 1);
+    for (int i = 0; i < 400; ++i) {
+      const NodeId from(static_cast<std::uint32_t>(traffic.pick_index(16)));
+      const NodeId to(static_cast<std::uint32_t>(traffic.pick_index(16)));
+      bus.send(from, to, MsgType::kStateUpdate, 128, [] {});
+    }
+    sim.run_all();
+    const TrafficStats& s = bus.stats();
+    EXPECT_EQ(s.total_sent(),
+              s.total_delivered() + s.total_lost() + s.total_partitioned() +
+                  s.total_in_flight());
+    EXPECT_EQ(s.total_in_flight(), 0u);
+    struct Out {
+      std::uint64_t sent, delivered, lost, events;
+    };
+    return Out{s.total_sent(), s.total_delivered(), s.total_lost(),
+               sim.events_executed()};
+  };
+
+  const auto a = run(42), b = run(42), c = run(43);
+  EXPECT_EQ(a.sent, b.sent);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.lost, b.lost);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_GT(a.lost, 0u);  // the knobs actually bite
+  // A different seed takes a different trajectory somewhere.
+  EXPECT_TRUE(a.delivered != c.delivered || a.events != c.events ||
+              a.sent != c.sent);
+}
+
+// Reordering: with a huge forced extra delay on every message, a later
+// send can arrive before an earlier one on the same link.
+TEST(MessageBusFaults, ReorderingLetsALaterSendOvertake) {
+  sim::Simulator sim(9);
+  Topology topo(small_config(), Rng(9));
+  topo.add_hosts(8);
+  MessageBus bus(sim, topo);
+  LinkFaultConfig cfg;
+  cfg.enabled = true;
+  cfg.reorder_probability = 0.5;
+  cfg.reorder_extra_delay_s = 30.0;
+  bus.enable_link_faults(cfg);
+
+  std::vector<int> order;
+  for (int i = 0; i < 40; ++i) {
+    bus.send(NodeId(0), NodeId(4), MsgType::kGossip, 64,
+             [&order, i] { order.push_back(i); });
+  }
+  sim.run_all();
+  ASSERT_EQ(order.size(), 40u);
+  EXPECT_FALSE(std::is_sorted(order.begin(), order.end()));
+}
+
+}  // namespace
+}  // namespace soc::net

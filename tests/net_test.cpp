@@ -70,6 +70,87 @@ TEST(Topology, TransferDelayScalesWithSize) {
   EXPECT_GT(big, seconds(4.0));
 }
 
+// Regression for the fill rule: hosts fill LANs *sequentially* in arrival
+// order (lan = host_index / lan_size) — each LAN fills to capacity before
+// the next opens, so late (churn) joins land in the newest LAN.  The class
+// doc once said "round-robin", which would scatter cohort arrivals across
+// every LAN and break the spatial correlation LAN-level partitions rely
+// on; this pins the actual behavior.
+TEST(Topology, HostsFillLansSequentiallyNotRoundRobin) {
+  Topology topo(small_config(), Rng(11));
+  topo.add_hosts(9);  // lan_size 4: LANs {0,1,2,3} {4,5,6,7} {8}
+  EXPECT_EQ(topo.lan_count(), 3u);
+  for (std::uint32_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(topo.lan_of(NodeId(i)), i / 4) << "host " << i;
+  }
+  // Round-robin would put the next host in LAN 0; sequential fill grows
+  // the newest, partial LAN until it reaches capacity.
+  EXPECT_EQ(topo.lan_of(topo.add_host()), 2u);
+  EXPECT_EQ(topo.lan_of(topo.add_host()), 2u);
+  EXPECT_EQ(topo.lan_of(topo.add_host()), 2u);
+  EXPECT_EQ(topo.lan_count(), 3u);
+  EXPECT_EQ(topo.lan_of(topo.add_host()), 3u);  // 13th host opens LAN 3
+  EXPECT_EQ(topo.lan_count(), 4u);
+}
+
+TEST(Topology, TransferDelayIsDeterministicInTheJitterStream) {
+  TopologyConfig cfg = small_config();
+  cfg.latency_jitter = 0.1;
+  Topology topo(cfg, Rng(12));
+  topo.add_hosts(8);
+  Rng a(99), b(99);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(topo.transfer_delay(NodeId(0), NodeId(5), 512, a),
+              topo.transfer_delay(NodeId(0), NodeId(5), 512, b))
+        << "draw " << i;
+  }
+  // Different jitter seeds diverge somewhere in the sequence (jitter is
+  // real, not a constant factor).
+  Rng c(100);
+  bool any_diff = false;
+  Rng a2(99);
+  for (int i = 0; i < 50; ++i) {
+    any_diff |= topo.transfer_delay(NodeId(0), NodeId(5), 512, a2) !=
+                topo.transfer_delay(NodeId(0), NodeId(5), 512, c);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Topology, ZeroJitterDelayMatchesHandComputedSerialization) {
+  Topology topo(small_config(), Rng(13));  // latency_jitter = 0
+  topo.add_hosts(8);
+  Rng jitter(1);
+  const NodeId a(0), b(5);
+  const std::size_t bytes = 125000;  // 1 Mbit
+  const double mbps = topo.bandwidth_mbps(a, b);
+  // bits / (mbps * 1e6) seconds of serialization on top of propagation.
+  const SimTime expected =
+      topo.base_latency(a, b) +
+      seconds(static_cast<double>(bytes) * 8.0 / (mbps * 1e6));
+  EXPECT_EQ(topo.transfer_delay(a, b, bytes, jitter), expected);
+  // The jitter stream was never consumed: a fresh Rng(1) is still in sync.
+  Rng fresh(1);
+  EXPECT_EQ(fresh.next_u64(), jitter.next_u64());
+}
+
+TEST(Topology, LanWanBoundaryUsesTheRightLatencyAndBandwidth) {
+  Topology topo(small_config(), Rng(14));  // zero jitter
+  topo.add_hosts(8);
+  Rng jitter(1);
+  // Hosts 3 and 4 are adjacent ids on opposite sides of the LAN boundary.
+  EXPECT_TRUE(topo.same_lan(NodeId(0), NodeId(3)));
+  EXPECT_FALSE(topo.same_lan(NodeId(3), NodeId(4)));
+  EXPECT_EQ(topo.base_latency(NodeId(0), NodeId(3)),
+            topo.config().lan_latency);
+  EXPECT_EQ(topo.base_latency(NodeId(3), NodeId(4)),
+            topo.config().wan_latency);
+  // A zero-byte message isolates propagation latency exactly.
+  EXPECT_EQ(topo.transfer_delay(NodeId(0), NodeId(3), 0, jitter),
+            topo.config().lan_latency);
+  EXPECT_EQ(topo.transfer_delay(NodeId(3), NodeId(4), 0, jitter),
+            topo.config().wan_latency);
+}
+
 TEST(MessageBus, DeliversWithPositiveDelay) {
   sim::Simulator sim(7);
   Topology topo(small_config(), Rng(7));
@@ -107,6 +188,97 @@ TEST(MessageBus, LivenessDropsMessagesToDeadHosts) {
   EXPECT_FALSE(got);
   // The send itself is still accounted (traffic was emitted).
   EXPECT_EQ(bus.stats().sent(MsgType::kGossip), 1u);
+}
+
+TEST(MessageBus, PartitionSwallowsCrossCutMessagesOnly) {
+  sim::Simulator sim(21);
+  Topology topo(small_config(), Rng(21));
+  topo.add_hosts(8);  // LAN 0: ids 0–3, LAN 1: ids 4–7
+  MessageBus bus(sim, topo);
+  bus.set_partition({0});
+  EXPECT_TRUE(bus.partition_active());
+  EXPECT_TRUE(bus.in_partition_cut(NodeId(0)));
+  EXPECT_FALSE(bus.in_partition_cut(NodeId(4)));
+
+  int delivered = 0;
+  bus.send(NodeId(0), NodeId(4), MsgType::kGossip, 64, [&] { ++delivered; });
+  bus.send(NodeId(4), NodeId(0), MsgType::kGossip, 64, [&] { ++delivered; });
+  bus.send(NodeId(0), NodeId(1), MsgType::kGossip, 64, [&] { ++delivered; });
+  bus.send(NodeId(4), NodeId(5), MsgType::kGossip, 64, [&] { ++delivered; });
+  sim.run_all();
+  // Cross-cut in both directions is swallowed; same-side traffic flows.
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(bus.stats().partitioned(MsgType::kGossip), 2u);
+  EXPECT_EQ(bus.stats().delivered(MsgType::kGossip), 2u);
+  EXPECT_EQ(bus.stats().lost(MsgType::kGossip), 0u);
+  // Conservation: sent == delivered + lost + partitioned + in_flight +
+  // synthetic, exactly.
+  EXPECT_EQ(bus.stats().sent(MsgType::kGossip),
+            bus.stats().delivered(MsgType::kGossip) +
+                bus.stats().lost(MsgType::kGossip) +
+                bus.stats().partitioned(MsgType::kGossip) +
+                bus.stats().in_flight(MsgType::kGossip) +
+                bus.stats().synthetic(MsgType::kGossip));
+
+  bus.clear_partition();
+  EXPECT_FALSE(bus.partition_active());
+  bus.send(NodeId(0), NodeId(4), MsgType::kGossip, 64, [&] { ++delivered; });
+  sim.run_all();
+  EXPECT_EQ(delivered, 3);
+}
+
+// The fate is sealed at send time: a message already in flight across the
+// cut when the partition heals is still swallowed (and vice versa, a
+// message sent before the cut lands even if the cut forms mid-flight).
+TEST(MessageBus, PartitionFateIsSealedAtSendTime) {
+  sim::Simulator sim(22);
+  Topology topo(small_config(), Rng(22));
+  topo.add_hosts(8);
+  MessageBus bus(sim, topo);
+
+  bool pre_cut_arrived = false;
+  bus.send(NodeId(0), NodeId(4), MsgType::kDispatch, 64,
+           [&] { pre_cut_arrived = true; });
+  bus.set_partition({0});
+  bool in_cut_arrived = false;
+  bus.send(NodeId(0), NodeId(4), MsgType::kDispatch, 64,
+           [&] { in_cut_arrived = true; });
+  bus.clear_partition();
+  sim.run_all();
+  EXPECT_TRUE(pre_cut_arrived);
+  EXPECT_FALSE(in_cut_arrived);
+  EXPECT_EQ(bus.stats().partitioned(MsgType::kDispatch), 1u);
+  EXPECT_EQ(bus.stats().delivered(MsgType::kDispatch), 1u);
+}
+
+TEST(MessageBus, SelfSendBypassesPartition) {
+  sim::Simulator sim(23);
+  Topology topo(small_config(), Rng(23));
+  topo.add_hosts(8);
+  MessageBus bus(sim, topo);
+  bus.set_partition({0});
+  bool got = false;
+  bus.send(NodeId(0), NodeId(0), MsgType::kDispatch, 64, [&] { got = true; });
+  sim.run_all();
+  EXPECT_TRUE(got);
+  EXPECT_EQ(bus.stats().total_partitioned(), 0u);
+}
+
+TEST(TrafficStats, PartitionedCountsSeparatelyFromLost) {
+  TrafficStats s;
+  s.on_send(NodeId(0), MsgType::kGossip, 10);
+  s.on_send(NodeId(0), MsgType::kGossip, 10);
+  s.on_send(NodeId(0), MsgType::kGossip, 10);
+  s.on_partitioned(MsgType::kGossip);
+  s.on_lost(MsgType::kGossip);
+  s.on_delivered(MsgType::kGossip);
+  EXPECT_EQ(s.partitioned(MsgType::kGossip), 1u);
+  EXPECT_EQ(s.lost(MsgType::kGossip), 1u);
+  EXPECT_EQ(s.delivered(MsgType::kGossip), 1u);
+  EXPECT_EQ(s.total_partitioned(), 1u);
+  EXPECT_EQ(s.in_flight(MsgType::kGossip), 0u);
+  s.reset();
+  EXPECT_EQ(s.total_partitioned(), 0u);
 }
 
 TEST(TrafficStats, PerNodeCostAveragesTotals) {

@@ -138,6 +138,64 @@ TEST(ScenarioEngine, PhasedChurnRunsOnlyInChurningPhases) {
   expect_invariants_hold(ex);
 }
 
+TEST(ScenarioEngine, PartitionThenHealRestoresMembership) {
+  core::ExperimentConfig cfg = base_config();
+  cfg.topology.lan_size = 8;  // 32 nodes → 4 LANs, so a spatial cut exists
+  scenario::Partition part;
+  part.at = seconds(600);
+  part.fraction = 0.3;
+  part.duration = seconds(300);
+  cfg.scenario.partitions.push_back(part);
+
+  core::Experiment ex(cfg);
+  ex.setup();
+
+  // Mid-partition: the cut is active, every victim is parked by the
+  // protocol, and the victims' records elsewhere show up as
+  // dead-provider stale debt.
+  ex.simulator().run_until(seconds(750));
+  ASSERT_TRUE(ex.partition_active());
+  const std::vector<NodeId> victims = ex.partitioned_ids();
+  ASSERT_FALSE(victims.empty());
+  for (const NodeId id : victims) EXPECT_TRUE(ex.is_partitioned(id));
+  EXPECT_EQ(ex.protocol().parked_ids(), victims);
+  expect_invariants_hold(ex);
+  const core::ExperimentResults mid = ex.results();
+  EXPECT_GT(mid.stale_records_dead_provider, 0u);
+
+  // After the heal: victims rejoined, nothing stays parked, traffic
+  // crosses the old cut again, and the invariant set still holds.
+  ex.run();
+  ASSERT_NE(ex.scenario_engine(), nullptr);
+  EXPECT_EQ(ex.scenario_engine()->counters().partitions_started, 1u);
+  EXPECT_EQ(ex.scenario_engine()->counters().heals, 1u);
+  EXPECT_EQ(ex.scenario_engine()->counters().partition_detached,
+            victims.size());
+  EXPECT_FALSE(ex.partition_active());
+  EXPECT_TRUE(ex.partitioned_ids().empty());
+  EXPECT_TRUE(ex.protocol().parked_ids().empty());
+  expect_invariants_hold(ex);
+}
+
+TEST(ScenarioEngine, PartitionRunsAreDeterministicAcrossProtocols) {
+  for (const core::ProtocolKind proto :
+       {core::ProtocolKind::kHidCan, core::ProtocolKind::kKhdnCan,
+        core::ProtocolKind::kNewscast}) {
+    core::ExperimentConfig cfg = base_config();
+    cfg.protocol = proto;
+    cfg.topology.lan_size = 8;
+    cfg.scenario.partitions.push_back({seconds(500), 0.3, seconds(400)});
+
+    const core::ExperimentResults a = core::run_experiment(cfg);
+    const core::ExperimentResults b = core::run_experiment(cfg);
+    EXPECT_EQ(a.messages_partitioned, b.messages_partitioned);
+    EXPECT_EQ(a.total_messages, b.total_messages);
+    EXPECT_EQ(a.events_executed, b.events_executed);
+    EXPECT_EQ(a.stale_records_dead_provider, b.stale_records_dead_provider);
+    EXPECT_EQ(a.stale_records_misplaced, b.stale_records_misplaced);
+  }
+}
+
 TEST(ScenarioEngine, ScenarioRunsAreDeterministic) {
   core::ExperimentConfig cfg = base_config();
   cfg.scenario.phases.push_back({seconds(0), 0.8});

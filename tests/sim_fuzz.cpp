@@ -18,11 +18,19 @@
 // invariant, and the exact replay command, then exits 1.
 //
 //   sim_fuzz [--schedules 50] [--seed 1] [--only K] [--check-every-s 300]
-//            [--nodes-lo 24] [--nodes-hi 48] [--verbose]
+//            [--nodes-lo 24] [--nodes-hi 48] [--max-seconds 0] [--verbose]
+//
+// --max-seconds bounds *wall-clock* time: the harness stops launching new
+// schedules once the budget is spent (the schedule in flight finishes its
+// run).  The budget never feeds schedule derivation — schedule k draws the
+// identical config whether or not a budget is set, so a violation found
+// under a time budget replays with the usual `--seed S --only K`.
 //
 // The default ctest entry runs 50 schedules (a few seconds); the `nightly`
-// ctest configuration runs a larger budget (see CMakeLists / ci.sh).
+// ctest configuration runs a wall-clock-bounded budget (see CMakeLists /
+// ci.sh).
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -43,6 +51,7 @@ struct FuzzOptions {
   double check_every_s = 300.0;
   std::size_t nodes_lo = 24;
   std::size_t nodes_hi = 48;
+  double max_seconds = 0.0;  ///< wall-clock budget; 0 = unbounded
   bool verbose = false;
 };
 
@@ -84,6 +93,27 @@ core::ExperimentConfig random_config(Rng& rng, const FuzzOptions& opt) {
                            : core::ChurnTaskPolicy::kCheckpointRestart;
   cfg.seed = rng.next_u64();
   cfg.scenario = scenario::random_spec(rng, cfg.duration);
+  // Link-fault draw appended after every pre-existing draw so schedules
+  // that never reach it (the chance fails) share their prefix stream with
+  // older harness versions.  ~35% of schedules run under correlated
+  // loss/reorder/duplication/straggler faults.
+  if (rng.chance(0.35)) {
+    net::LinkFaultConfig& lf = cfg.link_faults;
+    lf.enabled = true;
+    lf.lan.p_enter_bad = rng.uniform(0.005, 0.05);
+    lf.lan.p_exit_bad = rng.uniform(0.2, 0.6);
+    lf.lan.loss_good = rng.uniform(0.0, 0.01);
+    lf.lan.loss_bad = rng.uniform(0.1, 0.5);
+    lf.wan.p_enter_bad = rng.uniform(0.01, 0.08);
+    lf.wan.p_exit_bad = rng.uniform(0.1, 0.5);
+    lf.wan.loss_good = rng.uniform(0.0, 0.02);
+    lf.wan.loss_bad = rng.uniform(0.2, 0.7);
+    lf.reorder_probability = rng.uniform(0.0, 0.1);
+    lf.reorder_extra_delay_s = rng.uniform(0.05, 0.5);
+    lf.duplicate_probability = rng.uniform(0.0, 0.05);
+    lf.straggler_fraction = rng.uniform(0.0, 0.15);
+    lf.straggler_multiplier = rng.uniform(1.5, 4.0);
+  }
   return cfg;
 }
 
@@ -91,10 +121,11 @@ std::string config_line(const core::ExperimentConfig& cfg) {
   char buf[192];
   std::snprintf(buf, sizeof(buf),
                 "protocol=%s nodes=%zu duration=%.0fs lambda=%.2f "
-                "base-churn=%.2f policy=%s seed=%llu",
+                "base-churn=%.2f policy=%s faults=%s seed=%llu",
                 core::protocol_name(cfg.protocol).c_str(), cfg.nodes,
                 to_seconds(cfg.duration), cfg.demand_ratio,
                 cfg.churn_dynamic_degree, policy_name(cfg.churn_task_policy),
+                cfg.link_faults.enabled ? "on" : "off",
                 static_cast<unsigned long long>(cfg.seed));
   return buf;
 }
@@ -116,6 +147,7 @@ std::uint64_t fingerprint(const core::ExperimentResults& r) {
   mix(r.total_messages);
   mix(r.messages_delivered);
   mix(r.messages_lost);
+  mix(r.messages_partitioned);
   mix(r.events_executed);
   return h;
 }
@@ -188,9 +220,10 @@ int main(int argc, char** argv) {
   opt.check_every_s = args.get_double("check-every-s", 300.0);
   opt.nodes_lo = static_cast<std::size_t>(args.get_int("nodes-lo", 24));
   opt.nodes_hi = static_cast<std::size_t>(args.get_int("nodes-hi", 48));
+  opt.max_seconds = args.get_double("max-seconds", 0.0);
   opt.verbose = args.get_bool("verbose", false);
   if (opt.nodes_hi < opt.nodes_lo || opt.nodes_lo == 0 ||
-      opt.check_every_s <= 0.0) {
+      opt.check_every_s <= 0.0 || opt.max_seconds < 0.0) {
     std::fprintf(stderr, "sim_fuzz: bad option ranges\n");
     return 2;
   }
@@ -209,7 +242,22 @@ int main(int argc, char** argv) {
     checkpoints = out.checkpoints;
     ran = 1;
   } else {
+    const auto start = std::chrono::steady_clock::now();
+    const auto budget_spent = [&] {
+      if (opt.max_seconds <= 0.0) return false;
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      return elapsed.count() >= opt.max_seconds;
+    };
     for (std::uint64_t k = 0; k < opt.schedules; ++k) {
+      if (budget_spent()) {
+        std::printf(
+            "sim_fuzz: wall-clock budget (%.0fs) spent after %llu of %llu "
+            "schedules\n",
+            opt.max_seconds, static_cast<unsigned long long>(ran),
+            static_cast<unsigned long long>(opt.schedules));
+        break;
+      }
       const ScheduleOutcome out = run_schedule(k, opt);
       if (!out.ok) return 1;
       assertions += out.assertions;
