@@ -61,11 +61,13 @@ struct BenchOptions {
 //     "bench": "<name>",            // e.g. "hotpath"
 //     "nodes": 384, "hours": 6.0, "seed": 1, "full": false,
 //     "peak_rss_bytes": 123456789,  // getrusage high-water mark
+//     "peak_rss_bytes_per_node": 321412.0,  // per configured node
 //     "experiments": [
 //       { "name": "HID-CAN", "wall_seconds": 1.23,
 //         "events": 1000, "events_per_sec": 813.0,
 //         "messages": 500, "messages_per_sec": 406.5,
 //         "t_ratio": 0.9, "f_ratio": 0.05, "msgs_per_node": 120.0,
+//         "slot_span_ratio": 1.0,   // per-node map density (≥ 1.0)
 //         "traffic": [
 //           { "type": "state-update", "sent": 10, "delivered": 9,
 //             "lost": 1 } ] }
@@ -88,6 +90,7 @@ struct PerfSample {
   std::uint64_t messages_partitioned = 0;
   std::uint64_t stale_dead_provider = 0;
   std::uint64_t stale_misplaced = 0;
+  double slot_span_ratio = 1.0;
   std::vector<core::ExperimentResults::MsgTypeCounts> traffic;
 };
 
@@ -119,6 +122,7 @@ inline PerfSample timed_run(const core::ExperimentConfig& config) {
   s.messages_partitioned = r.messages_partitioned;
   s.stale_dead_provider = r.stale_records_dead_provider;
   s.stale_misplaced = r.stale_records_misplaced;
+  s.slot_span_ratio = r.slot_span_ratio;
   s.traffic = r.traffic_by_type;
   return s;
 }
@@ -141,8 +145,12 @@ inline bool write_perf_json(const std::string& path, const char* bench_name,
   std::fprintf(f, "  \"seed\": %llu,\n",
                static_cast<unsigned long long>(opt.seed));
   std::fprintf(f, "  \"full\": %s,\n", opt.full ? "true" : "false");
+  const std::uint64_t rss = peak_rss_bytes();
   std::fprintf(f, "  \"peak_rss_bytes\": %llu,\n",
-               static_cast<unsigned long long>(peak_rss_bytes()));
+               static_cast<unsigned long long>(rss));
+  std::fprintf(f, "  \"peak_rss_bytes_per_node\": %.1f,\n",
+               static_cast<double>(rss) /
+                   static_cast<double>(std::max<std::size_t>(opt.nodes, 1)));
   std::fprintf(f, "  \"experiments\": [\n");
   for (std::size_t i = 0; i < samples.size(); ++i) {
     const PerfSample& s = samples[i];
@@ -156,6 +164,7 @@ inline bool write_perf_json(const std::string& path, const char* bench_name,
                  "      \"messages_partitioned\": %llu,\n"
                  "      \"stale_dead_provider\": %llu, "
                  "\"stale_misplaced\": %llu,\n"
+                 "      \"slot_span_ratio\": %.3f,\n"
                  "      \"traffic\": [",
                  s.name.c_str(), s.wall_seconds,
                  static_cast<unsigned long long>(s.events),
@@ -165,7 +174,8 @@ inline bool write_perf_json(const std::string& path, const char* bench_name,
                  s.msgs_per_node,
                  static_cast<unsigned long long>(s.messages_partitioned),
                  static_cast<unsigned long long>(s.stale_dead_provider),
-                 static_cast<unsigned long long>(s.stale_misplaced));
+                 static_cast<unsigned long long>(s.stale_misplaced),
+                 s.slot_span_ratio);
     for (std::size_t t = 0; t < s.traffic.size(); ++t) {
       const auto& m = s.traffic[t];
       std::fprintf(f,

@@ -1,0 +1,146 @@
+// Scale lane: prove the compacted memory layout at large populations on
+// one machine.
+//
+//   ./bench_scale [--nodes N] [--hours H] [--seed S] [--churn D]
+//                 [--protocol NAME] [--json BENCH_scale.json]
+//                 [--verify-identical]
+//
+// One join/churn/query experiment at scale (defaults: 100k nodes, a short
+// sim window, HID-CAN).  Emits the BENCH schema with the two memory-layout
+// fields this lane exists to track: peak_rss_bytes_per_node (the
+// bytes-per-node budget) and slot_span_ratio (worst per-node map density —
+// bounded by DenseNodeMap compaction, see src/common/dense_node_map.hpp).
+//
+// --verify-identical runs the identical config twice in-process and fails
+// unless both runs produce bit-identical results (FNV over counters and
+// raw metric bits) — the determinism half of the scale acceptance
+// criterion.  The 1M-node invocation is in README "Scaling"; the ctest
+// `scale` label runs the 100k smoke (see CMakeLists.txt).
+#include <bit>
+#include <cinttypes>
+
+#include "bench/bench_common.hpp"
+
+using namespace soc;
+using namespace soc::bench;
+
+namespace {
+
+/// FNV-1a over the deterministic results fields (counters + raw double
+/// bits), mirroring tests/golden_trajectory_test.cpp's fingerprint shape.
+std::uint64_t results_fingerprint(const core::ExperimentResults& r) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto add = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 0x100000001b3ull;
+    }
+  };
+  const auto add_double = [&add](double d) {
+    add(std::bit_cast<std::uint64_t>(d));
+  };
+  add(r.generated);
+  add(r.finished);
+  add(r.failed);
+  add(r.total_messages);
+  add(r.messages_delivered);
+  add(r.messages_lost);
+  add(r.messages_partitioned);
+  add(r.events_executed);
+  add_double(r.t_ratio);
+  add_double(r.f_ratio);
+  add_double(r.fairness);
+  add_double(r.avg_query_delay_s);
+  add_double(r.slot_span_ratio);
+  for (const auto& s : r.series) {
+    add(s.generated);
+    add(s.finished);
+    add(s.failed);
+    add_double(s.t_ratio);
+    add_double(s.f_ratio);
+    add_double(s.fairness);
+  }
+  return h;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  BenchOptions opt;  // scale-lane defaults, not BenchOptions::parse's
+  opt.nodes = static_cast<std::size_t>(args.get_int("nodes", 100000));
+  opt.hours = args.get_double("hours", 0.05);
+  opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  opt.json_path = args.get("json", "BENCH_scale.json");
+  const double churn = args.get_double("churn", 0.05);
+  const std::string proto_name = args.get("protocol", "HID-CAN");
+  const bool verify_identical = args.get_bool("verify-identical", false);
+
+  const auto protocol = core::protocol_from_name(proto_name);
+  if (!protocol.has_value()) {
+    std::fprintf(stderr, "bench_scale: unknown protocol '%s'\n",
+                 proto_name.c_str());
+    return 2;
+  }
+
+  std::printf("# Scale lane: %zu nodes, %.3fh, churn %.3f, %s, seed %llu\n",
+              opt.nodes, opt.hours, churn, proto_name.c_str(),
+              static_cast<unsigned long long>(opt.seed));
+
+  core::ExperimentConfig c = opt.base_config();
+  c.protocol = *protocol;
+  c.churn_dynamic_degree = churn;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const core::ExperimentResults r1 = core::run_experiment(c);
+  const std::chrono::duration<double> dt =
+      std::chrono::steady_clock::now() - t0;
+  PerfSample s;
+  s.name = r1.protocol;
+  s.wall_seconds = dt.count();
+  s.events = r1.events_executed;
+  s.messages = r1.total_messages;
+  s.t_ratio = r1.t_ratio;
+  s.f_ratio = r1.f_ratio;
+  s.msgs_per_node = r1.msg_cost_per_node;
+  s.messages_partitioned = r1.messages_partitioned;
+  s.stale_dead_provider = r1.stale_records_dead_provider;
+  s.stale_misplaced = r1.stale_records_misplaced;
+  s.slot_span_ratio = r1.slot_span_ratio;
+  s.traffic = r1.traffic_by_type;
+  const double wall = s.wall_seconds > 0.0 ? s.wall_seconds : 1e-9;
+  const std::uint64_t rss = peak_rss_bytes();
+  std::printf("%-14s %10.1fs %12llu ev %10.0f ev/s %12llu msg\n",
+              s.name.c_str(), s.wall_seconds,
+              static_cast<unsigned long long>(s.events),
+              static_cast<double>(s.events) / wall,
+              static_cast<unsigned long long>(s.messages));
+  std::printf("peak RSS: %.1f MiB  (%.0f bytes/node)\n",
+              static_cast<double>(rss) / (1024.0 * 1024.0),
+              static_cast<double>(rss) / static_cast<double>(c.nodes));
+  std::printf("slot_span_ratio: %.3f\n", s.slot_span_ratio);
+
+  int rc = 0;
+  if (verify_identical) {
+    // Re-run the identical config and compare full result fingerprints.
+    // The second run shares this process's heap on purpose: bit-identity
+    // must hold against allocator/address-layout differences, not be an
+    // artifact of a fresh address space.
+    const core::ExperimentResults r2 = core::run_experiment(c);
+    const std::uint64_t f1 = results_fingerprint(r1);
+    const std::uint64_t f2 = results_fingerprint(r2);
+    if (f1 == f2) {
+      std::printf("verify-identical: OK (fingerprint %016" PRIx64 ")\n", f1);
+    } else {
+      std::fprintf(stderr,
+                   "verify-identical: FAILED (%016" PRIx64 " != %016" PRIx64
+                   ") — same-seed trajectory diverged\n",
+                   f1, f2);
+      rc = 1;
+    }
+  }
+
+  if (!write_perf_json(opt.json_path, "scale", opt, {s})) return 1;
+  std::printf("wrote %s\n", opt.json_path.c_str());
+  return rc;
+}

@@ -44,12 +44,18 @@ struct PerfExperiment {
   double events_per_sec = 0.0;
   double messages = 0.0;
   double messages_per_sec = 0.0;
+  /// Memory-layout density (PR 7 schema addition).  Defaults to 1.0 when
+  /// absent so reports predating the field compare cleanly; never gated —
+  /// the stress tests own the density bound, the gate owns rates/counts.
+  double slot_span_ratio = 1.0;
 };
 
 struct PerfReport {
   double nodes = 0.0;
   double hours = 0.0;
   double seed = 0.0;
+  /// PR 7 schema addition; 0.0 when the report predates the field.
+  double peak_rss_bytes_per_node = 0.0;
   std::vector<PerfExperiment> experiments;
 };
 
@@ -64,6 +70,8 @@ inline std::optional<PerfReport> parse_report_text(const std::string& text,
   r.nodes = find_number(text, "nodes", 0).value_or(0.0);
   r.hours = find_number(text, "hours", 0).value_or(0.0);
   r.seed = find_number(text, "seed", 0).value_or(0.0);
+  r.peak_rss_bytes_per_node =
+      find_number(text, "peak_rss_bytes_per_node", 0).value_or(0.0);
 
   std::size_t pos = 0;
   for (;;) {
@@ -88,6 +96,8 @@ inline std::optional<PerfReport> parse_report_text(const std::string& text,
         find_number(text, "messages", name_end, block_end).value_or(0.0);
     e.messages_per_sec = find_number(text, "messages_per_sec", name_end,
                                      block_end).value_or(0.0);
+    e.slot_span_ratio = find_number(text, "slot_span_ratio", name_end,
+                                    block_end).value_or(1.0);
     r.experiments.push_back(std::move(e));
     pos = name_end;
   }
@@ -194,6 +204,13 @@ inline CompareOutcome compare_reports(const PerfReport& base,
           "", e_old->events, e_new.events, e_old->messages, e_new.messages,
           check_counts ? "  << DRIFT" : " — trajectory changed");
     }
+  }
+  // Memory-layout fields are informational only (0.0 / 1.0 when a report
+  // predates them) — printed for the eyeball, never counted as regressions.
+  if (base.peak_rss_bytes_per_node > 0.0 ||
+      fresh.peak_rss_bytes_per_node > 0.0) {
+    std::printf("peak RSS/node: old %.0f B, new %.0f B\n",
+                base.peak_rss_bytes_per_node, fresh.peak_rss_bytes_per_node);
   }
   return out;
 }

@@ -102,6 +102,7 @@ PartitionTree::Repair PartitionTree::leave(NodeId owner) {
     leaves_[heir] = parent;
     repair.merge_survivor = heir;
     repair.merged_from = owner;
+    leaves_.maybe_compact();  // values are TreeNode*; no references held
     return repair;
   }
 
@@ -122,6 +123,7 @@ PartitionTree::Repair PartitionTree::leave(NodeId owner) {
   repair.merge_survivor = z;
   repair.merged_from = y;
   repair.reassigned_to = y;
+  leaves_.maybe_compact();  // values are TreeNode*; no references held
   return repair;
 }
 

@@ -44,6 +44,8 @@ class PartitionTree {
 
   [[nodiscard]] std::size_t dims() const { return dims_; }
   [[nodiscard]] std::size_t leaf_count() const { return leaves_.size(); }
+  /// Storage density of the leaf map (slot_span/size; BENCH metric).
+  [[nodiscard]] double span_ratio() const { return leaves_.span_ratio(); }
   [[nodiscard]] bool contains_owner(NodeId id) const {
     return leaves_.contains(id);
   }

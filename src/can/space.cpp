@@ -171,6 +171,11 @@ void CanSpace::leave(NodeId id) {
   for (const NodeId c : candidates) {
     if (members_.contains(c)) notify_topology(c);
   }
+
+  // Safe point: every Member& taken during the repair is dead and all
+  // listener callbacks have returned.  Reclaim departed-node holes so
+  // long churn keeps iteration O(live), not O(total joins ever).
+  members_.maybe_compact();
 }
 
 const Zone& CanSpace::zone_of(NodeId id) const { return member(id).zone; }

@@ -17,6 +17,7 @@
 // flag test per neighbor instead of a d-dimensional zone comparison.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <functional>
 #include <optional>
@@ -57,6 +58,12 @@ class CanSpace {
 
   [[nodiscard]] std::size_t dims() const { return dims_; }
   [[nodiscard]] std::size_t size() const { return members_.size(); }
+  /// Storage density of the member and tree-leaf maps (max slot_span/size
+  /// over both; BENCH metric).
+  [[nodiscard]] double span_ratio() const {
+    return std::max(members_.span_ratio(),
+                    tree_.has_value() ? tree_->span_ratio() : 1.0);
+  }
   [[nodiscard]] bool contains(NodeId id) const {
     return members_.contains(id);
   }

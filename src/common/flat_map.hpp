@@ -1,0 +1,203 @@
+// FlatMap<K, V>: open-addressing hash map with linear probing — the
+// replacement for the last std::unordered_map on the per-dispatch path
+// (Experiment::in_flight_).  Node-based unordered_map pays an allocation
+// per insert and a pointer chase per lookup; at million-node scale the
+// in-flight table holds ~10^5 entries and is touched on every dispatch
+// and completion.
+//
+// Design: power-of-two table of std::optional<Entry> plus a state byte
+// (empty / full / tombstone), linear probing from a mixed hash
+// (splitmix64 finalizer — std::hash on integers is identity on this ABI,
+// which would cluster sequential TaskIds).  Erase tombstones; the table
+// rehashes — and shrinks — when full+tombstone load passes 3/4, so a
+// drained table gives its memory back (unordered_map never does).
+//
+// Iteration is in table order: deterministic for a deterministic
+// insert/erase history (all simulator state is), but NOT sorted — the
+// only iterating callers (checkpoint snapshots, accounting audit) need
+// determinism, not order.
+//
+// References and iterators are invalidated by any insert (rehash moves
+// entries), matching the repo-wide DenseNodeMap discipline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/common/assert.hpp"
+
+namespace soc {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class FlatMap {
+ public:
+  struct Entry {
+    K first;
+    V second;
+  };
+
+  template <bool Const>
+  class Iterator {
+   public:
+    using Map = std::conditional_t<Const, const FlatMap, FlatMap>;
+    using Ref = std::conditional_t<Const, const Entry&, Entry&>;
+    using Ptr = std::conditional_t<Const, const Entry*, Entry*>;
+
+    Iterator(Map* map, std::size_t idx) : map_(map), idx_(idx) { skip(); }
+
+    Ref operator*() const { return *map_->slots_[idx_]; }
+    Ptr operator->() const { return &*map_->slots_[idx_]; }
+    Iterator& operator++() {
+      ++idx_;
+      skip();
+      return *this;
+    }
+    bool operator==(const Iterator& o) const { return idx_ == o.idx_; }
+    bool operator!=(const Iterator& o) const { return idx_ != o.idx_; }
+
+   private:
+    friend class FlatMap;
+    void skip() {
+      while (idx_ < map_->state_.size() && map_->state_[idx_] != kFull) {
+        ++idx_;
+      }
+    }
+    Map* map_;
+    std::size_t idx_;
+  };
+
+  using iterator = Iterator<false>;
+  using const_iterator = Iterator<true>;
+
+  /// Insert (key → value) if absent; no-op when the key is already
+  /// present, mirroring std::unordered_map::emplace.  Returns whether an
+  /// insert happened.
+  bool emplace(const K& key, V value) {
+    reserve_for(size_ + 1);
+    std::size_t idx = probe_start(key);
+    std::size_t insert_at = kNpos;
+    for (;; idx = (idx + 1) & (state_.size() - 1)) {
+      if (state_[idx] == kEmpty) {
+        if (insert_at == kNpos) insert_at = idx;
+        break;
+      }
+      if (state_[idx] == kTomb) {
+        if (insert_at == kNpos) insert_at = idx;
+        continue;
+      }
+      if (slots_[idx]->first == key) return false;
+    }
+    if (state_[insert_at] == kTomb) --tombstones_;
+    state_[insert_at] = kFull;
+    slots_[insert_at].emplace(Entry{key, std::move(value)});
+    ++size_;
+    return true;
+  }
+
+  [[nodiscard]] iterator find(const K& key) {
+    return {this, find_index(key)};
+  }
+  [[nodiscard]] const_iterator find(const K& key) const {
+    return {this, find_index(key)};
+  }
+  [[nodiscard]] bool contains(const K& key) const {
+    return find_index(key) != state_.size();
+  }
+
+  /// Erase by iterator (obtained from find; must not be end()).
+  void erase(iterator it) {
+    SOC_DCHECK(it.idx_ < state_.size() && state_[it.idx_] == kFull);
+    state_[it.idx_] = kTomb;
+    slots_[it.idx_].reset();
+    --size_;
+    ++tombstones_;
+  }
+
+  /// Erase by key.  Returns whether it was present.
+  bool erase(const K& key) {
+    const std::size_t idx = find_index(key);
+    if (idx == state_.size()) return false;
+    erase(iterator{this, idx});
+    return true;
+  }
+
+  void clear() {
+    state_.clear();
+    slots_.clear();
+    size_ = 0;
+    tombstones_ = 0;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  /// Table length (diagnostics): full + tombstone + empty slots.
+  [[nodiscard]] std::size_t capacity() const { return state_.size(); }
+
+  [[nodiscard]] iterator begin() { return {this, 0}; }
+  [[nodiscard]] iterator end() { return {this, state_.size()}; }
+  [[nodiscard]] const_iterator begin() const { return {this, 0}; }
+  [[nodiscard]] const_iterator end() const { return {this, state_.size()}; }
+
+ private:
+  static constexpr std::uint8_t kEmpty = 0;
+  static constexpr std::uint8_t kFull = 1;
+  static constexpr std::uint8_t kTomb = 2;
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+  static std::uint64_t mix(std::uint64_t h) {
+    // splitmix64 finalizer: integral std::hash is identity on libstdc++,
+    // and linear probing needs the high entropy spread into the mask bits.
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebull;
+    h ^= h >> 31;
+    return h;
+  }
+
+  [[nodiscard]] std::size_t probe_start(const K& key) const {
+    return static_cast<std::size_t>(mix(Hash{}(key))) & (state_.size() - 1);
+  }
+
+  /// Slot of `key`, or state_.size() when absent (== end()).
+  [[nodiscard]] std::size_t find_index(const K& key) const {
+    if (state_.empty()) return 0;  // == size(): empty map's end()
+    std::size_t idx = probe_start(key);
+    for (;; idx = (idx + 1) & (state_.size() - 1)) {
+      if (state_[idx] == kEmpty) return state_.size();
+      if (state_[idx] == kFull && slots_[idx]->first == key) return idx;
+    }
+  }
+
+  /// Grow (or shrink, when tombstones dominate) so `want` entries fit
+  /// under 3/4 load; rehashed tables start at ≤ 1/2 load.
+  void reserve_for(std::size_t want) {
+    if (!state_.empty() && (want + tombstones_) * 4 <= state_.size() * 3) {
+      return;
+    }
+    std::size_t cap = 16;
+    while (cap < want * 2) cap <<= 1;
+    std::vector<std::uint8_t> old_state = std::move(state_);
+    std::vector<std::optional<Entry>> old_slots = std::move(slots_);
+    state_.assign(cap, kEmpty);
+    slots_.assign(cap, std::nullopt);
+    tombstones_ = 0;
+    for (std::size_t i = 0; i < old_state.size(); ++i) {
+      if (old_state[i] != kFull) continue;
+      std::size_t idx = probe_start(old_slots[i]->first);
+      while (state_[idx] == kFull) idx = (idx + 1) & (cap - 1);
+      state_[idx] = kFull;
+      slots_[idx] = std::move(old_slots[i]);
+    }
+  }
+
+  std::vector<std::uint8_t> state_;
+  std::vector<std::optional<Entry>> slots_;
+  std::size_t size_ = 0;
+  std::size_t tombstones_ = 0;
+};
+
+}  // namespace soc

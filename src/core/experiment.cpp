@@ -76,14 +76,11 @@ Experiment::Experiment(ExperimentConfig config)
         tg.demand_ratio = config.demand_ratio;
         return tg;
       }()),
-      avg_capacity_(psm::kDims) {
+      hosts_(sim_, config.overhead), avg_capacity_(psm::kDims) {
   topology_ = std::make_unique<net::Topology>(config_.topology,
                                               rng_.fork("topology"));
   bus_ = std::make_unique<net::MessageBus>(sim_, *topology_);
-  bus_->set_liveness([this](NodeId id) {
-    const Host* h = hosts_.find(id);
-    return h != nullptr && h->alive;
-  });
+  bus_->set_liveness([this](NodeId id) { return hosts_.alive(id); });
   if (config_.link_faults.enabled) {
     bus_->enable_link_faults(config_.link_faults);
   }
@@ -134,9 +131,10 @@ Experiment::Experiment(ExperimentConfig config)
 
   protocol_->set_availability_source(
       [this](NodeId id) -> std::optional<ResourceVector> {
-        const Host* h = hosts_.find(id);
-        if (h == nullptr || !h->alive) return std::nullopt;
-        return h->scheduler->availability();
+        // Alive hosts always hold a scheduler (only dead+drained ones
+        // release their cold slot).
+        if (!hosts_.alive(id)) return std::nullopt;
+        return hosts_.scheduler(id)->availability();
       });
 }
 
@@ -144,15 +142,10 @@ Experiment::~Experiment() = default;
 
 NodeId Experiment::spawn_host() {
   const NodeId id = topology_->add_host();
-  Host host;
-  host.capacity = node_gen_.generate(rng_);
-  host.scheduler = std::make_unique<psm::PsmScheduler>(sim_, host.capacity,
-                                                       config_.overhead);
-  host.scheduler->set_finish_callback(
-      [this, id](const psm::CompletionInfo& info) {
-        on_host_finished_task(id, info);
-      });
-  hosts_.emplace(id, std::move(host));
+  psm::PsmScheduler& sched = hosts_.add(id, node_gen_.generate(rng_));
+  sched.set_finish_callback([this, id](const psm::CompletionInfo& info) {
+    on_host_finished_task(id, info);
+  });
   ++alive_count_;
   protocol_->on_join(id);
   return id;
@@ -166,7 +159,7 @@ void Experiment::setup() {
   ResourceVector cap_sum(psm::kDims);
   for (std::size_t i = 0; i < config_.nodes; ++i) {
     const NodeId id = spawn_host();
-    cap_sum += hosts_.at(id).capacity;
+    cap_sum += hosts_.capacity(id);
     wan.add(topology_->wan_bandwidth_mbps(id));
     start_arrivals(id);
   }
@@ -190,21 +183,17 @@ NodeId Experiment::scenario_join() {
 }
 
 void Experiment::scenario_depart(NodeId id) {
-  const Host* h = hosts_.find(id);
-  if (h == nullptr || !h->alive) return;
+  if (!hosts_.alive(id)) return;
   on_host_departed(id);
 }
 
-bool Experiment::host_alive(NodeId id) const {
-  const Host* h = hosts_.find(id);
-  return h != nullptr && h->alive;
-}
+bool Experiment::host_alive(NodeId id) const { return hosts_.alive(id); }
 
 std::vector<NodeId> Experiment::alive_ids() const {
   std::vector<NodeId> out;
   out.reserve(alive_count_);
-  for (const auto& [id, h] : hosts_) {
-    if (h.alive) out.push_back(id);
+  for (std::uint32_t i = 0; i < hosts_.size(); ++i) {
+    if (hosts_.alive(NodeId(i))) out.push_back(NodeId(i));
   }
   return out;
 }
@@ -216,8 +205,9 @@ bool Experiment::scenario_partition(double fraction, std::size_t start_lan) {
   SOC_CHECK(lans > 0 && start_lan < lans);
 
   std::vector<std::vector<NodeId>> by_lan(lans);
-  for (const auto& [id, h] : hosts_) {
-    if (h.alive) by_lan[topology_->lan_of(id)].push_back(id);
+  for (std::uint32_t i = 0; i < hosts_.size(); ++i) {
+    const NodeId id{i};
+    if (hosts_.alive(id)) by_lan[topology_->lan_of(id)].push_back(id);
   }
   // Keep at least 3 hosts connected; aim for fraction·alive cut off.
   const std::size_t cap = alive_count_ > 3 ? alive_count_ - 3 : 0;
@@ -285,24 +275,32 @@ bool Experiment::is_partitioned(NodeId id) const {
 
 std::string Experiment::check_accounting() const {
   std::size_t alive = 0;
-  std::size_t total = 0;
-  for (const auto& [id, h] : hosts_) {
-    ++total;
-    alive += h.alive ? 1 : 0;
-    if (h.scheduler == nullptr) {
-      return "host " + std::to_string(id.value) + " has no scheduler";
+  for (std::uint32_t i = 0; i < hosts_.size(); ++i) {
+    const NodeId id{i};
+    if (hosts_.alive(id)) {
+      ++alive;
+      if (hosts_.scheduler(id) == nullptr) {
+        return "alive host " + std::to_string(id.value) + " has no scheduler";
+      }
+    } else if (const auto* s = hosts_.scheduler(id);
+               s != nullptr && s->running_count() == 0 &&
+               std::find(cold_reap_.begin(), cold_reap_.end(), id) ==
+                   cold_reap_.end()) {
+      // A dead idle host may hold its scheduler only while queued for reap.
+      return "dead drained host " + std::to_string(id.value) +
+             " still holds a scheduler";
     }
-  }
-  if (total != hosts_.size()) {
-    return "DenseNodeMap size " + std::to_string(hosts_.size()) +
-           " != iterated slot count " + std::to_string(total);
   }
   if (alive != alive_count_) {
     return "alive counter " + std::to_string(alive_count_) + " != " +
            std::to_string(alive) + " alive hosts";
   }
+  if (hosts_.alive_count() != alive_count_) {
+    return "fenwick alive count " + std::to_string(hosts_.alive_count()) +
+           " != " + std::to_string(alive_count_);
+  }
   for (const auto& kv : in_flight_) {
-    if (hosts_.find(kv.second.provider) == nullptr) {
+    if (!hosts_.known(kv.second.provider)) {
       return "in-flight task placed on unknown host " +
              std::to_string(kv.second.provider.value);
     }
@@ -327,17 +325,16 @@ void Experiment::schedule_next_arrival(NodeId id, double mean_s) {
   const SimTime delay = workload::next_arrival_delay(mean_s, rng_);
   if (sim_.now() + delay > config_.duration) return;
   sim_.schedule_after(delay, [this, id, mean_s] {
-    const Host* h = hosts_.find(id);
-    if (h == nullptr || !h->alive) return;
+    if (!hosts_.alive(id)) return;
     submit_task(id);
     schedule_next_arrival(id, mean_s);
   });
 }
 
 void Experiment::submit_task(NodeId origin) {
-  Host& host = hosts_.at(origin);
+  drain_cold_reap();
   const psm::TaskSpec spec =
-      task_gen_.generate(origin, host.next_seq++, sim_.now(), rng_);
+      task_gen_.generate(origin, hosts_.bump_seq(origin), sim_.now(), rng_);
   metrics_.on_generated(sim_.now());
   auto run = std::make_shared<TaskRun>();
   run->spec = spec;
@@ -411,16 +408,16 @@ void Experiment::dispatch(const std::shared_ptr<TaskRun>& run,
       origin, provider, net::MsgType::kDispatch,
       static_cast<std::size_t>(run->spec.input_bytes),
       [this, run, provider, origin, responded] {
-        Host* h = hosts_.find(provider);
-        const bool reachable = h != nullptr && h->alive;
+        psm::PsmScheduler* sched =
+            hosts_.alive(provider) ? hosts_.scheduler(provider) : nullptr;
         // Admission must be idempotent in the task id: the link layer can
         // duplicate the dispatch message, and a lost verdict followed by a
         // checkpoint restart can re-route a task to the host that is
         // already executing it.  Either way "already running here" is an
         // accept, not a second admission.
         const bool admitted =
-            reachable && (h->scheduler->is_running(run->spec.id) ||
-                          h->scheduler->admit(run->spec));
+            sched != nullptr && (sched->is_running(run->spec.id) ||
+                                 sched->admit(run->spec));
         if (admitted) {
           in_flight_.emplace(run->spec.id, Placement{run->spec, provider});
         }
@@ -450,16 +447,17 @@ void Experiment::dispatch(const std::shared_ptr<TaskRun>& run,
 
 void Experiment::retry_or_fail(const std::shared_ptr<TaskRun>& run) {
   if (run->settled) return;
-  const Host* origin_host = hosts_.find(run->spec.origin);
-  const bool origin_alive = origin_host != nullptr && origin_host->alive;
+  const bool origin_alive = hosts_.alive(run->spec.origin);
   if (!origin_alive || run->attempts > config_.max_query_retries) {
     run->settled = true;
     metrics_.on_failed(sim_.now());
     if (config_.diagnose_failures) {
       // Ground truth at failure time: could any alive host admit the task?
       bool feasible = false;
-      for (const auto& [_, h] : hosts_) {
-        if (h.alive && h.scheduler->can_admit(run->spec.expectation)) {
+      for (std::uint32_t i = 0; i < hosts_.size(); ++i) {
+        const NodeId id{i};
+        if (hosts_.alive(id) &&
+            hosts_.scheduler(id)->can_admit(run->spec.expectation)) {
           feasible = true;
           break;
         }
@@ -494,14 +492,33 @@ double Experiment::efficiency_of(const psm::TaskSpec& spec,
   return expected_s / real_s;
 }
 
-void Experiment::on_host_finished_task(NodeId /*host*/,
+void Experiment::on_host_finished_task(NodeId host,
                                        const psm::CompletionInfo& info) {
+  // A detached (departed, kDetachedExecution) host that just drained its
+  // last task will never run anything again: queue its scheduler for
+  // release.  Deferred because this callback runs inside the scheduler.
+  if (!hosts_.alive(host) && hosts_.scheduler(host) != nullptr &&
+      hosts_.scheduler(host)->running_count() == 0) {
+    cold_reap_.push_back(host);
+  }
   const auto it = in_flight_.find(info.id);
   if (it == in_flight_.end()) return;
   metrics_.on_finished(sim_.now(),
                        efficiency_of(it->second.spec, info.finished_at));
   in_flight_.erase(it);
   checkpoints_.erase(info.id);
+}
+
+void Experiment::drain_cold_reap() {
+  for (const NodeId id : cold_reap_) {
+    // Re-check: duplicate queue entries are possible in principle, and
+    // nothing may have been admitted meanwhile (dead hosts admit nothing).
+    if (!hosts_.alive(id) && hosts_.scheduler(id) != nullptr &&
+        hosts_.scheduler(id)->running_count() == 0) {
+      hosts_.release_scheduler(id);
+    }
+  }
+  cold_reap_.clear();
 }
 
 void Experiment::start_churn() {
@@ -521,15 +538,11 @@ void Experiment::schedule_next_churn(double mean_gap_s) {
       std::max<SimTime>(seconds(rng_.exponential(mean_gap_s)), 1);
   if (sim_.now() + delay > config_.duration) return;
   sim_.schedule_after(delay, [this, mean_gap_s] {
-    // Departure of a random alive node (DenseNodeMap iterates in id
-    // order, so the candidate list is already sorted and deterministic).
-    std::vector<NodeId> alive;
-    alive.reserve(hosts_.size());
-    for (const auto& [id, h] : hosts_) {
-      if (h.alive) alive.push_back(id);
-    }
-    if (alive.size() > 2) {
-      on_host_departed(alive[rng_.pick_index(alive.size())]);
+    // Departure of a random alive node.  kth_alive selects over ascending
+    // ids — by definition the same host the old sorted-candidate-list
+    // scan picked for the same draw, without the O(total hosts) walk.
+    if (alive_count_ > 2) {
+      on_host_departed(hosts_.kth_alive(rng_.pick_index(alive_count_)));
     }
     // ...and a simultaneous fresh join keeps the population stable.
     const NodeId joiner = spawn_host();
@@ -539,8 +552,8 @@ void Experiment::schedule_next_churn(double mean_gap_s) {
 }
 
 void Experiment::on_host_departed(NodeId victim) {
-  Host& host = hosts_.at(victim);
-  host.alive = false;
+  drain_cold_reap();
+  hosts_.mark_departed(victim);
   --alive_count_;
   // A partitioned host that dies will never rejoin: drop it from the cut
   // set (on_leave below drops the protocol's parked state to match).
@@ -555,7 +568,8 @@ void Experiment::on_host_departed(NodeId victim) {
       // completion; churn only perturbs overlay/discovery state.
       break;
     case ChurnTaskPolicy::kTasksLost: {
-      for (const auto& progress : host.scheduler->abort_all_with_progress()) {
+      for (const auto& progress :
+           hosts_.scheduler(victim)->abort_all_with_progress()) {
         ++tasks_killed_by_churn_;
         double done = 0.0;
         for (std::size_t k = 0; k < psm::kRateDims; ++k) {
@@ -569,13 +583,21 @@ void Experiment::on_host_departed(NodeId victim) {
       break;
     }
     case ChurnTaskPolicy::kCheckpointRestart: {
-      for (const auto& progress : host.scheduler->abort_all_with_progress()) {
+      for (const auto& progress :
+           hosts_.scheduler(victim)->abort_all_with_progress()) {
         ++tasks_killed_by_churn_;
         in_flight_.erase(progress.spec.id);
         restart_from_checkpoint(progress);
       }
       break;
     }
+  }
+
+  // A departed host with nothing running (always true after an abort
+  // policy; true under detached execution when it was idle) never touches
+  // its scheduler again — release the cold slot right away.
+  if (hosts_.scheduler(victim)->running_count() == 0) {
+    hosts_.release_scheduler(victim);
   }
 }
 
@@ -593,8 +615,7 @@ void Experiment::restart_from_checkpoint(
     }
   }
 
-  const Host* origin_host = hosts_.find(progress.spec.origin);
-  const bool origin_alive = origin_host != nullptr && origin_host->alive;
+  const bool origin_alive = hosts_.alive(progress.spec.origin);
   const std::uint32_t restarts = checkpoints_.note_restart(id, sim_.now());
   if (!origin_alive || restarts > config_.checkpoint.max_restarts) {
     metrics_.on_failed(sim_.now());
@@ -617,9 +638,9 @@ void Experiment::start_checkpointing() {
     // Snapshot every placed task whose provider is still alive; the
     // snapshot travels provider → origin as one message.
     for (const auto& [id, placement] : in_flight_) {
-      const Host* h = hosts_.find(placement.provider);
-      if (h == nullptr || !h->alive) continue;
-      const auto remaining = h->scheduler->remaining_of(id);
+      if (!hosts_.alive(placement.provider)) continue;
+      const auto remaining =
+          hosts_.scheduler(placement.provider)->remaining_of(id);
       if (!remaining.has_value()) continue;
       ++checkpoint_snapshots_;
       const TaskId task_id = id;
@@ -684,6 +705,7 @@ ExperimentResults Experiment::results() const {
       std::max(peak_stale_debt_.dead_provider, debt.dead_provider);
   r.stale_records_misplaced =
       std::max(peak_stale_debt_.misplaced, debt.misplaced);
+  r.slot_span_ratio = protocol_->max_slot_span_ratio();
   return r;
 }
 

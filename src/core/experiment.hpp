@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "src/common/dense_node_map.hpp"
+#include "src/common/flat_map.hpp"
+#include "src/core/host_table.hpp"
 #include "src/core/protocol.hpp"
 #include "src/gossip/newscast.hpp"
 #include "src/index/inscan.hpp"
@@ -176,6 +178,12 @@ struct ExperimentResults {
   /// what the fault cost.
   std::uint64_t stale_records_dead_provider = 0;
   std::uint64_t stale_records_misplaced = 0;
+
+  /// Max slot_span()/size() over the protocol's per-node state maps at
+  /// collection time: 1.0 when dense, bounded by the DenseNodeMap
+  /// compaction factor under churn (unbounded growth here is the memory
+  /// regression the scale lane guards against).
+  double slot_span_ratio = 1.0;
 };
 
 /// Run one full simulation; deterministic in config.seed.
@@ -260,13 +268,6 @@ class Experiment {
   }
 
  private:
-  struct Host {
-    ResourceVector capacity;
-    std::unique_ptr<psm::PsmScheduler> scheduler;
-    bool alive = true;
-    std::uint32_t next_seq = 0;
-  };
-
   struct TaskRun;  // lifecycle context
 
   NodeId spawn_host();
@@ -286,6 +287,10 @@ class Experiment {
   void dispatch(const std::shared_ptr<TaskRun>& run, NodeId provider);
   void retry_or_fail(const std::shared_ptr<TaskRun>& run);
   void on_host_finished_task(NodeId host, const psm::CompletionInfo& info);
+  /// Release schedulers of dead hosts whose last detached task finished.
+  /// Deferred to the next safe point (the completion callback fires from
+  /// inside the scheduler, which must not destroy itself mid-loop).
+  void drain_cold_reap();
   [[nodiscard]] double efficiency_of(const psm::TaskSpec& spec,
                                      SimTime finished_at) const;
 
@@ -298,12 +303,12 @@ class Experiment {
   std::unique_ptr<DiscoveryProtocol> protocol_;
   workload::NodeGenerator node_gen_;
   workload::TaskGenerator task_gen_;
-  DenseNodeMap<Host> hosts_;  ///< ids are dense; no hashing per message
+  HostTable hosts_;  ///< SoA hot fields + stable cold scheduler slab
   struct Placement {
     psm::TaskSpec spec;
     NodeId provider;
   };
-  std::unordered_map<TaskId, Placement> in_flight_;
+  FlatMap<TaskId, Placement> in_flight_;  ///< open-addressing; no node allocs
   psm::CheckpointStore checkpoints_;
   metrics::TaskMetrics metrics_;
   RunningStats query_delay_s_;
@@ -313,6 +318,7 @@ class Experiment {
   std::size_t alive_count_ = 0;
   void sample_stale_debt();
 
+  std::vector<NodeId> cold_reap_;  ///< dead+drained hosts awaiting release
   std::vector<NodeId> partitioned_;  ///< cut-off alive hosts, ascending
   StaleDebt peak_stale_debt_;  ///< max sampled at partition edges (results)
   bool setup_done_ = false;

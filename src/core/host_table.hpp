@@ -1,0 +1,114 @@
+// HostTable: the SoA replacement for Experiment's per-host AoS struct.
+//
+// The fields the message path touches on every delivery — the alive flag
+// (bus liveness callback), capacity, and the per-host task sequence —
+// live in flat parallel vectors indexed directly by NodeId (host ids are
+// handed out sequentially by Topology::add_host and, unlike overlay
+// state, host entries are never erased: a departed host keeps its row
+// with alive=false, so id == row index for the whole run).  Cold state —
+// the PsmScheduler, ~200 bytes plus its running-task map — lives in an
+// address-stable slab (StableSlab: scheduler completion closures capture
+// `this`) referenced by a per-host slot index, replacing the per-node
+// unique_ptr chase.  A dead host whose scheduler has drained (no running
+// tasks) can release its cold slot, so cold memory tracks live +
+// detached-busy hosts instead of total hosts ever.
+//
+// Alive-order statistics.  Churn picks "the k-th alive host in ascending
+// id order"; materializing the alive list per churn event is O(total
+// hosts ever).  The table keeps a Fenwick tree over the alive bits, so
+// alive_count() is O(1)-maintained and kth_alive(k) is O(log n) while
+// selecting exactly the same host the sorted-list scan would — bit-for-
+// bit identical trajectories, three orders of magnitude less scanning at
+// 1M nodes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/resource_vector.hpp"
+#include "src/common/stable_slab.hpp"
+#include "src/common/types.hpp"
+#include "src/psm/scheduler.hpp"
+
+namespace soc::core {
+
+class HostTable {
+ public:
+  HostTable(sim::Simulator& sim, psm::VmOverhead overhead)
+      : sim_(sim), overhead_(overhead) {}
+
+  /// Append the next host (ids must arrive sequentially: id == size()).
+  /// Constructs its scheduler and returns it so the caller can attach the
+  /// finish callback.
+  psm::PsmScheduler& add(NodeId id, const ResourceVector& capacity);
+
+  /// Rows ever created (alive + departed).
+  [[nodiscard]] std::size_t size() const { return alive_.size(); }
+  [[nodiscard]] bool known(NodeId id) const {
+    return id.valid() && id.value < alive_.size();
+  }
+  [[nodiscard]] bool alive(NodeId id) const {
+    return known(id) && alive_[id.value] != 0;
+  }
+  void mark_departed(NodeId id);
+
+  [[nodiscard]] const ResourceVector& capacity(NodeId id) const {
+    SOC_DCHECK(known(id));
+    return capacity_[id.value];
+  }
+
+  /// Post-increment the host's task sequence number.
+  [[nodiscard]] std::uint32_t bump_seq(NodeId id) {
+    SOC_DCHECK(known(id));
+    return next_seq_[id.value]++;
+  }
+
+  /// The host's scheduler, or nullptr when its cold slot was released
+  /// (only possible for departed hosts with no running tasks).
+  [[nodiscard]] psm::PsmScheduler* scheduler(NodeId id) {
+    if (!known(id) || cold_slot_[id.value] == ColdSlab::kNull) return nullptr;
+    return &cold_[cold_slot_[id.value]];
+  }
+  [[nodiscard]] const psm::PsmScheduler* scheduler(NodeId id) const {
+    return const_cast<HostTable*>(this)->scheduler(id);
+  }
+
+  /// Destroy a drained dead host's scheduler and recycle its cold slot.
+  /// Caller must ensure the host is departed and nothing is running (the
+  /// scheduler then has no pending completion event, so no scheduled
+  /// closure still captures its address).
+  void release_scheduler(NodeId id);
+
+  [[nodiscard]] std::size_t alive_count() const { return alive_count_; }
+
+  /// The k-th alive host in ascending id order (0-based, k <
+  /// alive_count()): Fenwick order-statistics select, equal by definition
+  /// to sorting the alive ids and indexing.
+  [[nodiscard]] NodeId kth_alive(std::size_t k) const;
+
+  /// Cold slots currently holding a scheduler (live + detached-busy).
+  [[nodiscard]] std::size_t schedulers_live() const { return cold_.live(); }
+
+ private:
+  using ColdSlab = StableSlab<psm::PsmScheduler>;
+
+  // Fenwick tree over alive bits, 1-based: fen_[i] covers ids
+  // [i - lowbit(i), i).  Appending host m computes fen_[m] from prefix
+  // sums of the already-built tree, so joins stay O(log n).
+  [[nodiscard]] std::size_t fen_prefix(std::size_t i) const;  // ids [0, i)
+  void fen_append(bool bit);
+  void fen_sub(std::size_t id);
+
+  sim::Simulator& sim_;
+  psm::VmOverhead overhead_;
+
+  std::vector<std::uint8_t> alive_;         // hot: bus liveness per message
+  std::vector<ResourceVector> capacity_;    // hot: admission/selection
+  std::vector<std::uint32_t> next_seq_;     // hot: per-submission
+  std::vector<std::uint32_t> cold_slot_;    // id → slab slot (kNull: freed)
+  ColdSlab cold_;                           // cold: schedulers, stable addrs
+  std::vector<std::uint32_t> fen_;          // alive-bit Fenwick tree
+  std::size_t alive_count_ = 0;
+};
+
+}  // namespace soc::core

@@ -1,6 +1,7 @@
 // KHDN-CAN baseline as a DiscoveryProtocol.
 #pragma once
 
+#include <algorithm>
 #include <map>
 
 #include "src/core/protocol.hpp"
@@ -29,6 +30,9 @@ class KhdnProtocol final : public DiscoveryProtocol {
              std::size_t want, QueryCallback cb) override;
   void republish(NodeId id) override;
   [[nodiscard]] std::string name() const override { return "KHDN-CAN"; }
+  [[nodiscard]] double max_slot_span_ratio() const override {
+    return std::max(space_.span_ratio(), system_.span_ratio());
+  }
 
   [[nodiscard]] can::CanSpace& space() { return space_; }
   [[nodiscard]] khdn::KhdnSystem& system() { return system_; }

@@ -28,6 +28,9 @@ class NewscastProtocol final : public DiscoveryProtocol {
   void query(NodeId requester, const ResourceVector& demand,
              std::size_t want, QueryCallback cb) override;
   [[nodiscard]] std::string name() const override { return "Newscast"; }
+  [[nodiscard]] double max_slot_span_ratio() const override {
+    return system_.span_ratio();
+  }
 
   [[nodiscard]] gossip::NewscastSystem& system() { return system_; }
 

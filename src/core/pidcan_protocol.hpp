@@ -7,6 +7,7 @@
 // six protocol names of §IV.A onto option combinations.
 #pragma once
 
+#include <algorithm>
 #include <map>
 #include <memory>
 
@@ -50,6 +51,11 @@ class PidCanProtocol final : public DiscoveryProtocol {
   [[nodiscard]] std::size_t discoverable(const ResourceVector& demand,
                                          SimTime now) const override;
   [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double max_slot_span_ratio() const override {
+    double r = std::max(space_.span_ratio(), index_.span_ratio());
+    if (aggregator_ != nullptr) r = std::max(r, aggregator_->span_ratio());
+    return r;
+  }
 
   /// The CAN point a demand/availability vector files under (appends the
   /// virtual coordinate in the VD variant).

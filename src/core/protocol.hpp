@@ -90,6 +90,14 @@ class DiscoveryProtocol {
     return 0;
   }
 
+  /// Max slot_span()/size() over the protocol's per-node state maps
+  /// (CAN members, index state, gossip views, KHDN caches): 1.0 when
+  /// storage is dense, grows with unreclaimed churn holes.  Reported into
+  /// the BENCH schema as slot_span_ratio; DenseNodeMap compaction keeps
+  /// it bounded by the compaction factor.  Default for protocols without
+  /// per-node maps: dense.
+  [[nodiscard]] virtual double max_slot_span_ratio() const { return 1.0; }
+
   [[nodiscard]] virtual std::string name() const = 0;
 };
 

@@ -36,7 +36,10 @@ void MaxAggregator::add_node(NodeId id, const ResourceVector& local_value) {
       config_.periodic_jitter);
 }
 
-void MaxAggregator::remove_node(NodeId id) { state_.erase(id); }
+void MaxAggregator::remove_node(NodeId id) {
+  state_.erase(id);
+  state_.maybe_compact();  // teardown safe point: no state refs outstanding
+}
 
 void MaxAggregator::update_local(NodeId id, const ResourceVector& value) {
   auto& st = state_.at(id);

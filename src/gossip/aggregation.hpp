@@ -46,6 +46,8 @@ class MaxAggregator {
   void add_node(NodeId id, const ResourceVector& local_value);
   void remove_node(NodeId id);
   [[nodiscard]] bool tracks(NodeId id) const { return state_.contains(id); }
+  /// Storage density of the aggregation-state map (slot_span/size).
+  [[nodiscard]] double span_ratio() const { return state_.span_ratio(); }
 
   /// Update the node's own contribution (capacities are static in the
   /// paper's setting, but the API supports dynamic values).

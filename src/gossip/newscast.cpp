@@ -36,7 +36,10 @@ void NewscastSystem::start_periodic(NodeId id) {
       config_.periodic_jitter);
 }
 
-void NewscastSystem::remove_node(NodeId id) { views_.erase(id); }
+void NewscastSystem::remove_node(NodeId id) {
+  views_.erase(id);
+  views_.maybe_compact();  // teardown safe point: no view refs outstanding
+}
 
 std::vector<ViewEntry> NewscastSystem::park_node(NodeId id) {
   auto* view = views_.find(id);

@@ -64,6 +64,8 @@ class NewscastSystem {
   void add_node(NodeId id, const std::vector<NodeId>& bootstrap);
   void remove_node(NodeId id);
   [[nodiscard]] bool tracks(NodeId id) const { return views_.contains(id); }
+  /// Storage density of the view map (slot_span/size).
+  [[nodiscard]] double span_ratio() const { return views_.span_ratio(); }
 
   /// Extract `id`'s view ahead of a partition teardown.
   [[nodiscard]] std::vector<ViewEntry> park_node(NodeId id);

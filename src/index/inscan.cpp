@@ -59,6 +59,10 @@ void IndexSystem::add_node(NodeId id) {
 void IndexSystem::remove_node(NodeId id) {
   state_.erase(id);
   last_location_.erase(id);
+  // Safe point: called from departure/partition teardown with no NodeState
+  // references outstanding (the rehome listener re-looks-up per call).
+  state_.maybe_compact();
+  last_location_.maybe_compact();
 }
 
 IndexSystem::ParkedNode IndexSystem::park_node(NodeId id) {

@@ -15,6 +15,7 @@
 // message-delivery-cost metric are physical.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -96,6 +97,10 @@ class IndexSystem {
   /// Drop protocol state (overlay departure).
   void remove_node(NodeId id);
   [[nodiscard]] bool tracks(NodeId id) const { return state_.contains(id); }
+  /// Storage density over the per-node maps (max slot_span/size).
+  [[nodiscard]] double span_ratio() const {
+    return std::max(state_.span_ratio(), last_location_.span_ratio());
+  }
 
   /// A partitioned-out member's protocol state, extracted by park_node()
   /// before the overlay teardown and handed back to restore_node() at heal

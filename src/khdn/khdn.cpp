@@ -43,7 +43,10 @@ void KhdnSystem::start_periodic(NodeId id) {
       config_.periodic_jitter);
 }
 
-void KhdnSystem::remove_node(NodeId id) { caches_.erase(id); }
+void KhdnSystem::remove_node(NodeId id) {
+  caches_.erase(id);
+  caches_.maybe_compact();  // teardown safe point: no cache refs outstanding
+}
 
 index::RecordStore KhdnSystem::park_node(NodeId id) {
   SOC_CHECK(caches_.contains(id));

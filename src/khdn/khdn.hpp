@@ -60,6 +60,8 @@ class KhdnSystem {
   void add_node(NodeId id);
   void remove_node(NodeId id);
   [[nodiscard]] bool tracks(NodeId id) const { return caches_.contains(id); }
+  /// Storage density of the duty-cache map (slot_span/size).
+  [[nodiscard]] double span_ratio() const { return caches_.span_ratio(); }
 
   /// Extract `id`'s duty cache ahead of a partition teardown (the caller
   /// runs the normal departure path next, which then re-homes nothing).

@@ -78,6 +78,8 @@ std::optional<MergedReport> merge_shards(const std::string& dir,
       s.messages_partitioned += c->messages_partitioned;
       s.stale_dead_provider += c->stale_dead_provider;
       s.stale_misplaced += c->stale_misplaced;
+      s.slot_span_ratio_max = std::max(s.slot_span_ratio_max,
+                                       c->slot_span_ratio);
     }
     s.t_ratio_mean = t.mean();
     s.t_ratio_median = median(ts);
@@ -134,7 +136,8 @@ bool write_merged_report(const std::string& path, const SweepSpec& spec,
         "\"avg_query_delay_s_mean\": %.9g,\n"
         "      \"generated\": %llu, \"finished\": %llu, \"failed\": %llu,\n"
         "      \"messages_partitioned\": %llu,\n"
-        "      \"stale_dead_provider\": %llu, \"stale_misplaced\": %llu }",
+        "      \"stale_dead_provider\": %llu, \"stale_misplaced\": %llu,\n"
+        "      \"slot_span_ratio\": %.9g }",
         i > 0 ? "," : "", s.group.c_str(),
         static_cast<unsigned long long>(s.events),
         static_cast<unsigned long long>(s.messages), s.repeats, s.t_ratio_mean,
@@ -145,7 +148,8 @@ bool write_merged_report(const std::string& path, const SweepSpec& spec,
         static_cast<unsigned long long>(s.failed),
         static_cast<unsigned long long>(s.messages_partitioned),
         static_cast<unsigned long long>(s.stale_dead_provider),
-        static_cast<unsigned long long>(s.stale_misplaced));
+        static_cast<unsigned long long>(s.stale_misplaced),
+        s.slot_span_ratio_max);
     out += buf;
   }
   out += "\n  ]\n}\n";

@@ -38,6 +38,9 @@ struct GroupStats {
   std::uint64_t messages_partitioned = 0;                 ///< summed
   /// Stale-record debt at run end, summed over repeats.
   std::uint64_t stale_dead_provider = 0, stale_misplaced = 0;
+  /// Worst per-node map density across repeats (max, not mean: one
+  /// degenerate run is exactly what the metric exists to surface).
+  double slot_span_ratio_max = 1.0;
 };
 
 struct MergedReport {

@@ -46,6 +46,7 @@ ShardResult run_shard(const Shard& shard, std::uint64_t spec_fingerprint,
     out.messages_partitioned = r.messages_partitioned;
     out.stale_dead_provider = r.stale_records_dead_provider;
     out.stale_misplaced = r.stale_records_misplaced;
+    out.slot_span_ratio = r.slot_span_ratio;
     out.wall_seconds = dt.count();
     result.cells.push_back(std::move(out));
   }
@@ -83,6 +84,7 @@ bool write_shard_result(const std::string& dir, const ShardResult& result) {
         "      \"events\": %llu, \"messages\": %llu,\n"
         "      \"delivered\": %llu, \"lost\": %llu, \"partitioned\": %llu,\n"
         "      \"stale_dead_provider\": %llu, \"stale_misplaced\": %llu,\n"
+        "      \"slot_span_ratio\": %.17g,\n"
         "      \"wall_seconds\": %.6f }",
         i > 0 ? "," : "", c.key.c_str(), c.group.c_str(),
         static_cast<unsigned long long>(c.seed), c.t_ratio, c.f_ratio,
@@ -96,7 +98,8 @@ bool write_shard_result(const std::string& dir, const ShardResult& result) {
         static_cast<unsigned long long>(c.messages_lost),
         static_cast<unsigned long long>(c.messages_partitioned),
         static_cast<unsigned long long>(c.stale_dead_provider),
-        static_cast<unsigned long long>(c.stale_misplaced), c.wall_seconds);
+        static_cast<unsigned long long>(c.stale_misplaced), c.slot_span_ratio,
+        c.wall_seconds);
     if (n < 0 || static_cast<std::size_t>(n) >= sizeof(buf)) return false;
     out += buf;
   }
@@ -159,6 +162,7 @@ std::optional<ShardResult> read_shard_result(const std::string& path) {
     c.messages_partitioned = u64("partitioned");
     c.stale_dead_provider = u64("stale_dead_provider");
     c.stale_misplaced = u64("stale_misplaced");
+    c.slot_span_ratio = num("slot_span_ratio").value_or(1.0);
     c.wall_seconds = num("wall_seconds").value_or(0.0);
     r.cells.push_back(std::move(c));
     pos = text->find(needle, block_end - 1);

@@ -41,6 +41,8 @@ struct CellResult {
   std::uint64_t messages_partitioned = 0;
   std::uint64_t stale_dead_provider = 0;
   std::uint64_t stale_misplaced = 0;
+  /// Worst per-node map density at run end (deterministic; ≥ 1.0).
+  double slot_span_ratio = 1.0;
   double wall_seconds = 0.0;  ///< nondeterministic; never merged
 };
 

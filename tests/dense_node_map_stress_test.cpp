@@ -1,20 +1,22 @@
-// Long-churn stress for DenseNodeMap: ids are never reused, so a heavily
-// churned map accumulates one vacant slot per departed node and iteration
-// walks O(max id), not O(live).  This suite pins the exact costs (the
-// ROADMAP open item) and the correctness properties that must survive
-// them.
+// Long-churn stress for DenseNodeMap.  Two lanes:
 //
-// Quantified on this container (512 live, 100k churn events):
-//   * slot_span grows to live + churn_events (one optional<T> slot per
-//     departed id is retained — with T = 8 bytes that is 16 bytes/slot of
-//     permanent growth on this ABI);
-//   * iteration visits every slot ever allocated: ~196 slots scanned per
-//     live element at the end vs 1.0 at the start — the O(max id) cost is
-//     real but linear-scan cheap (sub-millisecond per full pass at 100k
-//     slots), consistent with ROADMAP's "only bites at --full-scale
-//     multi-day churn" judgement.
+// No-compaction baseline (the first two tests; no maybe_compact calls):
+// ids are never reused, so a heavily churned map accumulates one vacant
+// slot per departed node and iteration walks O(max id), not O(live).
+// Quantified on this container (512 live, 100k churn events): slot_span
+// grows to live + churn_events, and iteration scans ~196 slots per live
+// element at the end vs 1.0 at the start.
+//
+// Compaction lane (the remaining tests): calling maybe_compact() at the
+// erase sites — as every production holder does — keeps span_ratio
+// bounded by kCompactFactor under the same churn, an unconditional
+// compact() restores fresh-map iteration density, and the documented
+// reference/hole semantics (re-lookup after compaction, O(1) same-id
+// re-emplace into a retained hole, rare out-of-order re-emplace after a
+// compaction dropped the hole) hold exactly.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <vector>
@@ -124,6 +126,141 @@ TEST(DenseNodeMapStress, IterationCostTracksSlotSpanNotLiveCount) {
       us_after);
   // Keep the optimizer honest about the timed loops.
   EXPECT_GT(sum_before + sum_after, 0u);
+}
+
+TEST(DenseNodeMapStress, MaybeCompactBoundsSpanRatioUnderChurn) {
+  // The production pattern: erase on departure, then maybe_compact() at
+  // the caller's safe point.  Under the same 100k-event churn that drove
+  // the baseline to ~196 slots/live, the ratio must stay bounded by the
+  // trigger factor — the "100k churn iteration no longer degrades"
+  // guarantee the scale lane relies on.
+  DenseNodeMap<std::uint64_t> map;
+  Rng rng(20260808);
+  std::vector<NodeId> live;
+  std::uint32_t next_id = 0;
+  for (std::size_t i = 0; i < kLive; ++i) {
+    map.emplace(NodeId(next_id), next_id * 3ull);
+    live.push_back(NodeId(next_id++));
+  }
+
+  std::size_t compactions = 0;
+  for (std::size_t step = 0; step < kChurnEvents; ++step) {
+    const std::size_t idx = rng.pick_index(live.size());
+    ASSERT_TRUE(map.erase(live[idx]));
+    if (map.maybe_compact()) ++compactions;
+    // After the safe-point call the density bound holds unconditionally
+    // (span >= kCompactMinSpan here, so the small-span exemption is out).
+    ASSERT_LE(map.span_ratio(),
+              static_cast<double>(DenseNodeMap<std::uint64_t>::kCompactFactor))
+        << "step " << step;
+    live[idx] = NodeId(next_id);
+    map.emplace(NodeId(next_id), next_id * 3ull);
+    ++next_id;
+  }
+
+  EXPECT_GT(compactions, 0u);  // the trigger actually fired under churn
+  EXPECT_EQ(map.size(), kLive);
+  EXPECT_LE(map.slot_span(),
+            DenseNodeMap<std::uint64_t>::kCompactFactor * kLive + 1);
+
+  // Compaction moved storage only: the live set, its values, and the
+  // ascending iteration order are exactly the baseline's.
+  std::vector<NodeId> expected = live;
+  std::sort(expected.begin(), expected.end());
+  std::vector<NodeId> seen;
+  for (const auto& [id, v] : map) {
+    EXPECT_EQ(v, id.value * 3ull);
+    seen.push_back(id);
+  }
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(DenseNodeMapStress, CompactRestoresFreshIterationDensity) {
+  // Churn WITHOUT periodic compaction (the degenerate baseline), then one
+  // unconditional compact(): the full-pass cost proxy (slots scanned per
+  // live element) must land within 2x of a fresh map's — it lands at
+  // exactly 1.0, since every hole is reclaimed.
+  DenseNodeMap<std::uint64_t> map;
+  Rng rng(11);
+  std::vector<NodeId> live;
+  std::uint32_t next_id = 0;
+  for (std::size_t i = 0; i < kLive; ++i) {
+    map.emplace(NodeId(next_id), 1);
+    live.push_back(NodeId(next_id++));
+  }
+  for (std::size_t step = 0; step < kChurnEvents; ++step) {
+    const std::size_t idx = rng.pick_index(live.size());
+    map.erase(live[idx]);
+    live[idx] = NodeId(next_id);
+    map.emplace(NodeId(next_id++), 1);
+  }
+  ASSERT_GT(map.span_ratio(), 100.0);  // degenerate, as the baseline pins
+
+  map.compact();
+
+  const double scanned_per_live =
+      static_cast<double>(map.slot_span()) / static_cast<double>(map.size());
+  EXPECT_LE(scanned_per_live, 2.0);  // within 2x of a fresh map's 1.0
+  EXPECT_DOUBLE_EQ(scanned_per_live, 1.0);
+  EXPECT_EQ(map.size(), kLive);
+  EXPECT_EQ(map.slot_span(), kLive);
+
+  // The survivors are intact and still ascending.
+  std::vector<NodeId> expected = live;
+  std::sort(expected.begin(), expected.end());
+  std::vector<NodeId> seen;
+  for (const auto& [id, v] : map) {
+    EXPECT_EQ(v, 1u);
+    seen.push_back(id);
+  }
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(DenseNodeMapStress, CompactionReferenceAndHoleSemantics) {
+  // The reference-invalidation guard: compact() moves every stored value,
+  // so holders must re-look-up afterwards — this pins that the re-lookup
+  // finds the right value at the new address, and that both re-emplace
+  // paths around a compaction behave as documented.
+  DenseNodeMap<std::uint64_t> map;
+  for (std::uint32_t id = 0; id < 200; ++id) map.emplace(NodeId(id), id * 9ull);
+
+  // Depart the even ids; id 100's hole is retained (same-id re-emplace
+  // stays O(1) and must not grow the span).
+  for (std::uint32_t id = 0; id < 200; id += 2) ASSERT_TRUE(map.erase(NodeId(id)));
+  const std::size_t span_before = map.slot_span();
+  map.emplace(NodeId(100), 900ull);
+  EXPECT_EQ(map.slot_span(), span_before);  // reused the retained hole
+
+  const std::uint64_t* stale = map.find(NodeId(101));
+  ASSERT_NE(stale, nullptr);
+  map.compact();
+
+  // Post-compact re-lookup: every survivor is found with its value; the
+  // old address is dead (documented contract; can't be asserted directly,
+  // but the re-looked-up pointer observing the right value is the
+  // discipline every audited holder follows).
+  const std::uint64_t* fresh = map.find(NodeId(101));
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ(*fresh, 101 * 9ull);
+  EXPECT_EQ(map.at(NodeId(100)), 900ull);
+  EXPECT_EQ(map.slot_span(), map.size());
+  (void)stale;
+
+  // Out-of-order re-emplace after the compaction dropped the hole (the
+  // rare restore-straddles-compaction path): id 42 is smaller than the
+  // largest stored id, so this takes the sorted middle insert.  Ascending
+  // iteration order and every lookup must survive the slot_of_ fixup.
+  map.emplace(NodeId(42), 4242ull);
+  EXPECT_EQ(map.at(NodeId(42)), 4242ull);
+  std::vector<std::uint32_t> order;
+  for (const auto& [id, v] : map) {
+    order.push_back(id.value);
+    EXPECT_EQ(v, id.value == 42 ? 4242ull
+                                : id.value == 100 ? 900ull : id.value * 9ull);
+  }
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+  EXPECT_EQ(map.size(), order.size());
+  for (const std::uint32_t id : order) EXPECT_TRUE(map.contains(NodeId(id)));
 }
 
 }  // namespace

@@ -1,0 +1,112 @@
+// FlatMap oracle test: a long random insert/find/erase workload checked
+// against std::unordered_map at every step, plus the properties the
+// Experiment::in_flight_ swap leans on — rehash-and-shrink after a drain,
+// tombstone reuse, and deterministic iteration for a deterministic
+// history.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/flat_map.hpp"
+#include "src/common/rng.hpp"
+
+namespace soc {
+namespace {
+
+TEST(FlatMap, MatchesUnorderedMapOracleUnderChurn) {
+  FlatMap<std::uint64_t, std::uint64_t> map;
+  std::unordered_map<std::uint64_t, std::uint64_t> oracle;
+  Rng rng(20260808);
+
+  std::uint64_t next_key = 0;
+  std::vector<std::uint64_t> alive;
+  for (std::size_t step = 0; step < 50000; ++step) {
+    // Mostly sequential keys (TaskIds are), biased toward growth early
+    // and churn later, like the in-flight table's life cycle.
+    if (alive.empty() || rng.chance(0.55)) {
+      const std::uint64_t k = next_key++;
+      EXPECT_TRUE(map.emplace(k, k * 13));
+      EXPECT_FALSE(map.emplace(k, 0));  // duplicate insert is a no-op
+      oracle.emplace(k, k * 13);
+      alive.push_back(k);
+    } else {
+      const std::size_t idx = rng.pick_index(alive.size());
+      const std::uint64_t k = alive[idx];
+      EXPECT_TRUE(map.erase(k));
+      EXPECT_FALSE(map.erase(k));  // double erase reports absence
+      oracle.erase(k);
+      alive[idx] = alive.back();
+      alive.pop_back();
+    }
+    ASSERT_EQ(map.size(), oracle.size());
+    // Spot-check lookups across present, erased, and never-seen keys.
+    for (std::uint64_t probe = step % 7; probe < next_key + 3; probe += 41) {
+      const auto it = map.find(probe);
+      const auto oit = oracle.find(probe);
+      ASSERT_EQ(it != map.end(), oit != oracle.end()) << "key " << probe;
+      if (oit != oracle.end()) {
+        ASSERT_EQ(it->first, probe);
+        ASSERT_EQ(it->second, oit->second);
+      }
+      ASSERT_EQ(map.contains(probe), oit != oracle.end());
+    }
+  }
+
+  // Full iteration covers exactly the oracle's pairs (order-insensitive).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> got, want;
+  for (const auto& e : map) got.emplace_back(e.first, e.second);
+  for (const auto& [k, v] : oracle) want.emplace_back(k, v);
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+}
+
+TEST(FlatMap, DrainedTableShrinksOnceTombstonesForceARehash) {
+  FlatMap<std::uint32_t, std::uint32_t> map;
+  for (std::uint32_t k = 0; k < 100000; ++k) map.emplace(k, k);
+  const std::size_t peak_cap = map.capacity();
+  EXPECT_GE(peak_cap, 100000u);
+  // Drain to a small survivor set, then churn at that size — the
+  // in-flight table's life cycle after a workload burst.  Every erase
+  // leaves a tombstone; when full+tombstone load passes 3/4 the rehash
+  // sizes for the *live* count, handing the burst's memory back (which
+  // unordered_map never does).
+  for (std::uint32_t k = 64; k < 100000; ++k) map.erase(k);
+  std::uint32_t next = 200000;
+  for (std::size_t step = 0; step < 250000; ++step) {
+    map.emplace(next, next);
+    map.erase(next);
+    ++next;
+  }
+  EXPECT_EQ(map.size(), 64u);
+  EXPECT_LT(map.capacity(), peak_cap / 64);
+  for (std::uint32_t k = 0; k < 64; ++k) {
+    ASSERT_NE(map.find(k), map.end());
+    EXPECT_EQ(map.find(k)->second, k);
+  }
+}
+
+TEST(FlatMap, IterationIsDeterministicForSameHistory) {
+  const auto build = [] {
+    FlatMap<std::uint64_t, int> m;
+    for (std::uint64_t k = 0; k < 500; ++k) m.emplace(k, static_cast<int>(k));
+    for (std::uint64_t k = 0; k < 500; k += 3) m.erase(k);
+    for (std::uint64_t k = 1000; k < 1200; ++k) {
+      m.emplace(k, static_cast<int>(k));
+    }
+    return m;
+  };
+  const FlatMap<std::uint64_t, int> a = build();
+  const FlatMap<std::uint64_t, int> b = build();
+  std::vector<std::uint64_t> order_a, order_b;
+  for (const auto& e : a) order_a.push_back(e.first);
+  for (const auto& e : b) order_b.push_back(e.first);
+  EXPECT_EQ(order_a, order_b);  // same history → same table walk
+  EXPECT_EQ(order_a.size(), a.size());
+}
+
+}  // namespace
+}  // namespace soc
