@@ -1,17 +1,20 @@
-// Shared infrastructure for the reproduction benches: option parsing,
-// parallel execution of experiment configurations (one deterministic
-// single-threaded simulation per core), and paper-style series/table
-// printing.
+// Shared infrastructure for the perf benches: option parsing, timed
+// experiment runs, and the BENCH_*.json perf-trajectory report.
+//
+// The paper's figure/table grids no longer live here — they are SweepSpec
+// presets (`sweep_run --preset fig4` … — see src/sweep/spec.hpp), which
+// run sharded, resumable, and byte-deterministic instead of via an
+// in-process thread pool.
 #pragma once
 
 #include <sys/resource.h>
 
 #include <chrono>
 #include <cstdio>
-#include <functional>
 #include <string>
 #include <vector>
 
+#include "src/common/json_mini.hpp"
 #include "src/core/soc.hpp"
 
 namespace soc::bench {
@@ -139,7 +142,8 @@ inline bool write_perf_json(const std::string& path, const char* bench_name,
     return false;
   }
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"bench\": \"%s\",\n", bench_name);
+  std::fprintf(f, "  \"bench\": \"%s\",\n",
+               json_mini::escape(bench_name).c_str());
   std::fprintf(f, "  \"nodes\": %zu,\n", opt.nodes);
   std::fprintf(f, "  \"hours\": %.3f,\n", opt.hours);
   std::fprintf(f, "  \"seed\": %llu,\n",
@@ -166,7 +170,7 @@ inline bool write_perf_json(const std::string& path, const char* bench_name,
                  "\"stale_misplaced\": %llu,\n"
                  "      \"slot_span_ratio\": %.3f,\n"
                  "      \"traffic\": [",
-                 s.name.c_str(), s.wall_seconds,
+                 json_mini::escape(s.name).c_str(), s.wall_seconds,
                  static_cast<unsigned long long>(s.events),
                  static_cast<double>(s.events) / wall,
                  static_cast<unsigned long long>(s.messages),
@@ -182,7 +186,7 @@ inline bool write_perf_json(const std::string& path, const char* bench_name,
                    "%s\n        { \"type\": \"%s\", \"sent\": %llu, "
                    "\"delivered\": %llu, \"lost\": %llu, "
                    "\"partitioned\": %llu }",
-                   t > 0 ? "," : "", m.type.c_str(),
+                   t > 0 ? "," : "", json_mini::escape(m.type).c_str(),
                    static_cast<unsigned long long>(m.sent),
                    static_cast<unsigned long long>(m.delivered),
                    static_cast<unsigned long long>(m.lost),
@@ -193,55 +197,6 @@ inline bool write_perf_json(const std::string& path, const char* bench_name,
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   return true;
-}
-
-/// Run all configs in parallel (each simulation stays single-threaded and
-/// deterministic); results come back in input order.
-inline std::vector<core::ExperimentResults> run_all(
-    const std::vector<core::ExperimentConfig>& configs) {
-  std::vector<core::ExperimentResults> results(configs.size());
-  ThreadPool pool;
-  pool.parallel_for(configs.size(), [&](std::size_t i) {
-    results[i] = core::run_experiment(configs[i]);
-  });
-  return results;
-}
-
-/// Print one metric of all runs as an hour-by-hour series table, the shape
-/// the paper's figures plot.
-inline void print_series(
-    const char* title,
-    const std::function<double(const metrics::SeriesSample&)>& metric,
-    const std::vector<core::ExperimentResults>& results) {
-  std::printf("\n## %s\n", title);
-  std::printf("%-6s", "hour");
-  for (const auto& r : results) std::printf(" %12s", r.protocol.c_str());
-  std::printf("\n");
-  if (results.empty() || results[0].series.empty()) return;
-  for (std::size_t row = 0; row < results[0].series.size(); ++row) {
-    std::printf("%-6.0f", results[0].series[row].hour);
-    for (const auto& r : results) {
-      std::printf(" %12.3f", row < r.series.size() ? metric(r.series[row]) : 0.0);
-    }
-    std::printf("\n");
-  }
-}
-
-/// Print the end-of-run summary row per configuration.
-inline void print_summary(const std::vector<core::ExperimentResults>& results,
-                          const std::vector<std::string>& labels = {}) {
-  std::printf("\n## summary\n");
-  std::printf("%-18s %8s %8s %9s %10s %10s %12s\n", "config", "T-Ratio",
-              "F-Ratio", "fairness", "generated", "finished", "msgs/node");
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const auto& r = results[i];
-    const std::string label = i < labels.size() ? labels[i] : r.protocol;
-    std::printf("%-18s %8.3f %8.3f %9.3f %10llu %10llu %12.0f\n",
-                label.c_str(), r.t_ratio, r.f_ratio, r.fairness,
-                static_cast<unsigned long long>(r.generated),
-                static_cast<unsigned long long>(r.finished),
-                r.msg_cost_per_node);
-  }
 }
 
 }  // namespace soc::bench

@@ -36,8 +36,7 @@ int main(int argc, char** argv) {
               "F-Ratio", "killed", "restarts", "snapshots", "wasted-work");
 
   std::vector<core::ExperimentResults> results(std::size(cases));
-  ThreadPool pool;
-  pool.parallel_for(std::size(cases), [&](std::size_t i) {
+  for (std::size_t i = 0; i < std::size(cases); ++i) {
     core::ExperimentConfig c;
     c.protocol = core::ProtocolKind::kHidCan;
     c.nodes = nodes;
@@ -47,7 +46,7 @@ int main(int argc, char** argv) {
     c.churn_task_policy = cases[i].policy;
     c.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
     results[i] = core::run_experiment(c);
-  });
+  }
 
   for (std::size_t i = 0; i < std::size(cases); ++i) {
     const auto& r = results[i];

@@ -1,7 +1,9 @@
 // Protocol face-off: run every discovery protocol on the same workload
-// (same seed, same population) in parallel across cores and print a
-// side-by-side comparison — the quickest way to see the paper's headline
-// claim (HID-CAN is the stable all-round winner) on your own machine.
+// (same seed, same population) and print a side-by-side comparison — the
+// quickest way to see the paper's headline claim (HID-CAN is the stable
+// all-round winner) on your own machine.  For multi-core runs of the full
+// figure grids, use `sweep_run --preset fig5` (sharded across worker
+// processes) instead.
 //
 //   ./example_protocol_faceoff [--nodes 384] [--lambda 0.5] [--hours 6]
 #include <cstdio>
@@ -25,8 +27,7 @@ int main(int argc, char** argv) {
               nodes, lambda, hours);
 
   std::vector<core::ExperimentResults> results(kinds.size());
-  ThreadPool pool;
-  pool.parallel_for(kinds.size(), [&](std::size_t i) {
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
     core::ExperimentConfig c;
     c.protocol = kinds[i];
     c.nodes = nodes;
@@ -34,7 +35,7 @@ int main(int argc, char** argv) {
     c.duration = seconds(hours * 3600.0);
     c.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
     results[i] = core::run_experiment(c);
-  });
+  }
 
   std::printf("%-14s %8s %8s %9s %12s %12s %13s\n", "protocol", "T-Ratio",
               "F-Ratio", "fairness", "msgs/node", "query-delay",

@@ -8,6 +8,9 @@
 #   scripts/ci.sh nightly   # tier-1 + the 1000-schedule sim_fuzz lane
 #   scripts/ci.sh sweep     # the sweep lane alone (-L sweep): worker
 #                           # fan-out, kill-and-resume, byte-determinism
+#   scripts/ci.sh figures   # figure-reproduction smoke (-L figures): a
+#                           # reduced-grid `sweep_run --preset` run per
+#                           # figure class, 2 workers, series tables
 #   scripts/ci.sh scale     # 100k-node bench_scale smoke with the
 #                           # double-run bit-identity check (the 1M proof
 #                           # runs in the nightly lane)
@@ -48,6 +51,9 @@ case "$lane" in
   sweep)
     ctest -L sweep --output-on-failure -j8
     ;;
+  figures)
+    ctest -L figures --output-on-failure -j8
+    ;;
   scale)
     # Serialized on purpose: the scale run is itself the measurement.
     ctest -C scale -L scale --output-on-failure
@@ -61,7 +67,7 @@ case "$lane" in
     ctest -C nightly --output-on-failure -j8
     ;;
   *)
-    echo "usage: scripts/ci.sh [unit|sweep|scale|full|nightly|asan]" >&2
+    echo "usage: scripts/ci.sh [unit|sweep|figures|scale|full|nightly|asan]" >&2
     exit 2
     ;;
 esac

@@ -15,8 +15,32 @@
 #include <cstdlib>
 #include <optional>
 #include <string>
+#include <string_view>
 
 namespace soc::json_mini {
+
+/// Escape a string for embedding inside a JSON string literal: quotes and
+/// backslashes get a backslash, and the control characters our labels could
+/// plausibly pick up (\n, \r, \t) their two-character escapes.  Every
+/// hand-rolled writer (BENCH_*.json, sweep shard/manifest/merged reports)
+/// routes its string fields through this, so a future protocol/scenario
+/// label containing '"' or '\' cannot tear the emitted JSON.  Byte-neutral
+/// for every label the writers emit today.
+inline std::string escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char ch : raw) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default: out += ch;
+    }
+  }
+  return out;
+}
 
 /// Extract the number following `"key": ` in text[from, to); nullopt when
 /// the key is absent there.  Tolerant of whitespace; enough JSON for our
@@ -51,20 +75,34 @@ inline std::optional<std::uint64_t> find_uint64(
   return v;
 }
 
-/// Extract the string following `"key": "` in text[from, to).  No escape
-/// handling: our writers never emit quotes or backslashes inside values.
+/// Extract the string following `"key": "` in text[from, to), undoing the
+/// escapes escape() produces — so escaped labels round-trip through the
+/// shard/report files instead of reading back with stray backslashes.
 inline std::optional<std::string> find_string(
     const std::string& text, const std::string& key, std::size_t from,
     std::size_t to = std::string::npos) {
   const std::string needle = "\"" + key + "\": \"";
   const std::size_t at = text.find(needle, from);
   if (at == std::string::npos || at >= to) return std::nullopt;
-  const std::size_t start = at + needle.size();
-  const std::size_t end = text.find('"', start);
-  if (end == std::string::npos || (to != std::string::npos && end >= to)) {
-    return std::nullopt;
+  std::string out;
+  for (std::size_t i = at + needle.size(); i < text.size() && i < to; ++i) {
+    const char ch = text[i];
+    if (ch == '"') return out;
+    if (ch != '\\') {
+      out += ch;
+      continue;
+    }
+    if (i + 1 >= text.size() || i + 1 >= to) return std::nullopt;
+    switch (text[++i]) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      default: return std::nullopt;  // escapes we never write
+    }
   }
-  return text.substr(start, end - start);
+  return std::nullopt;  // unterminated within [from, to)
 }
 
 }  // namespace soc::json_mini

@@ -95,10 +95,24 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) {
-  auto bucket = static_cast<std::ptrdiff_t>((x - lo_) / width_);
-  bucket = std::clamp<std::ptrdiff_t>(
-      bucket, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(bucket)];
+  // Clamp in floating point *before* any integer cast: casting a NaN,
+  // infinity, or out-of-range double to an integer type is UB, so the old
+  // cast-then-clamp order was undefined for exactly the values the clamp
+  // existed to handle.
+  if (std::isnan(x)) {
+    ++nan_;  // no bucket can honestly hold it; see header for the policy
+    return;
+  }
+  const double offset = (x - lo_) / width_;
+  std::size_t bucket;
+  if (!(offset > 0.0)) {
+    bucket = 0;  // below lo, including -inf
+  } else if (offset >= static_cast<double>(counts_.size())) {
+    bucket = counts_.size() - 1;  // at/above hi, including +inf
+  } else {
+    bucket = static_cast<std::size_t>(offset);  // in range: cast is defined
+  }
+  ++counts_[bucket];
   ++total_;
 }
 

@@ -11,7 +11,6 @@
 #include "src/common/resource_vector.hpp"
 #include "src/common/rng.hpp"
 #include "src/common/stats.hpp"
-#include "src/common/thread_pool.hpp"
 #include "src/common/types.hpp"
 #include "src/core/experiment.hpp"     // full-system experiment driver
 #include "src/core/khdn_protocol.hpp"

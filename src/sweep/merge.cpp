@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <map>
 
+#include "src/common/json_mini.hpp"
 #include "src/common/stats.hpp"
 #include "src/sweep/io.hpp"
 
@@ -91,6 +92,31 @@ std::optional<MergedReport> merge_shards(const std::string& dir,
     s.fairness_ci95 = mean_ci95_halfwidth(fair.count(), fair.stddev());
     s.msgs_per_node_mean = mpn.mean();
     s.avg_query_delay_s_mean = delay.mean();
+    // Fold the repeats' hour-by-hour series index-by-index.  Repeats of a
+    // group share a sampling cadence (same config except seed), but a
+    // repeat's series can still be shorter; a missing sample reduces that
+    // point's `repeats` count instead of contributing a padded 0.0.
+    std::size_t longest = 0;
+    for (const CellResult* c : buckets[g]) {
+      longest = std::max(longest, c->series.size());
+    }
+    for (std::size_t idx = 0; idx < longest; ++idx) {
+      GroupSeriesPoint p;
+      RunningStats t_s, f_s, fair_s;
+      for (const CellResult* c : buckets[g]) {
+        if (idx >= c->series.size()) continue;
+        const metrics::SeriesSample& sample = c->series[idx];
+        if (p.repeats == 0) p.hour = sample.hour;
+        ++p.repeats;
+        t_s.add(sample.t_ratio);
+        f_s.add(sample.f_ratio);
+        fair_s.add(sample.fairness);
+      }
+      p.t_ratio_mean = t_s.mean();
+      p.f_ratio_mean = f_s.mean();
+      p.fairness_mean = fair_s.count() > 0 ? fair_s.mean() : 1.0;
+      s.series.push_back(p);
+    }
     report.groups.push_back(std::move(s));
   }
   return report;
@@ -109,7 +135,7 @@ bool write_merged_report(const std::string& path, const SweepSpec& spec,
                 "  \"full\": false,\n",
                 norm.hours, static_cast<unsigned long long>(norm.base_seed));
   out += buf;
-  out += "  \"spec\": \"" + norm.describe() + "\",\n";
+  out += "  \"spec\": \"" + json_mini::escape(norm.describe()) + "\",\n";
   std::snprintf(buf, sizeof(buf),
                 "  \"spec_fingerprint\": \"%016llx\",\n"
                 "  \"shards_total\": %zu,\n  \"cells\": %zu,\n",
@@ -137,8 +163,9 @@ bool write_merged_report(const std::string& path, const SweepSpec& spec,
         "      \"generated\": %llu, \"finished\": %llu, \"failed\": %llu,\n"
         "      \"messages_partitioned\": %llu,\n"
         "      \"stale_dead_provider\": %llu, \"stale_misplaced\": %llu,\n"
-        "      \"slot_span_ratio\": %.9g }",
-        i > 0 ? "," : "", s.group.c_str(),
+        "      \"slot_span_ratio\": %.9g,\n"
+        "      \"series\": [",
+        i > 0 ? "," : "", json_mini::escape(s.group).c_str(),
         static_cast<unsigned long long>(s.events),
         static_cast<unsigned long long>(s.messages), s.repeats, s.t_ratio_mean,
         s.t_ratio_median, s.t_ratio_ci95, s.f_ratio_mean, s.f_ratio_median,
@@ -151,9 +178,124 @@ bool write_merged_report(const std::string& path, const SweepSpec& spec,
         static_cast<unsigned long long>(s.stale_misplaced),
         s.slot_span_ratio_max);
     out += buf;
+    // Figure curve, after every scalar: the bounded first-match parsers
+    // (merge round-trip, compare_core) must hit the scalar first when a
+    // key name recurs inside the samples.
+    for (std::size_t p = 0; p < s.series.size(); ++p) {
+      const GroupSeriesPoint& pt = s.series[p];
+      std::snprintf(buf, sizeof(buf),
+                    "%s\n        { \"hour\": %.17g, \"repeats\": %zu,"
+                    " \"t_ratio\": %.9g, \"f_ratio\": %.9g,"
+                    " \"fairness\": %.9g }",
+                    p > 0 ? "," : "", pt.hour, pt.repeats, pt.t_ratio_mean,
+                    pt.f_ratio_mean, pt.fairness_mean);
+      out += buf;
+    }
+    out += s.series.empty() ? "] }" : " ] }";
   }
   out += "\n  ]\n}\n";
   return write_atomic(path, out);
+}
+
+namespace {
+
+/// Column labels for the figure tables: drop the '/'-separated key
+/// components every group shares (the constant axes of the grid), keep
+/// the ones that distinguish the columns.  "sid-can/l0.5/n384/none/c0/base"
+/// vs "newscast/l0.5/n384/none/c0/base" → "sid-can" vs "newscast".
+std::vector<std::string> column_labels(const MergedReport& report) {
+  std::vector<std::vector<std::string>> parts;
+  for (const GroupStats& g : report.groups) {
+    std::vector<std::string> p;
+    std::size_t start = 0;
+    while (start <= g.group.size()) {
+      const std::size_t slash = g.group.find('/', start);
+      const std::size_t end = slash == std::string::npos ? g.group.size()
+                                                         : slash;
+      p.push_back(g.group.substr(start, end - start));
+      if (slash == std::string::npos) break;
+      start = slash + 1;
+    }
+    parts.push_back(std::move(p));
+  }
+  std::vector<std::string> labels;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    std::string label;
+    for (std::size_t c = 0; c < parts[i].size(); ++c) {
+      bool constant = true;
+      for (const auto& other : parts) {
+        if (c >= other.size() || other[c] != parts[i][c]) {
+          constant = false;
+          break;
+        }
+      }
+      if (constant && parts.size() > 1) continue;
+      if (!label.empty()) label += '/';
+      label += parts[i][c];
+    }
+    // Every component constant (single group, or duplicates): fall back to
+    // the full key so the column is still named.
+    if (label.empty()) label = report.groups[i].group;
+    labels.push_back(std::move(label));
+  }
+  return labels;
+}
+
+}  // namespace
+
+void print_series_tables(const MergedReport& report) {
+  std::size_t rows = 0;
+  for (const GroupStats& g : report.groups) {
+    rows = std::max(rows, g.series.size());
+  }
+  if (rows == 0) {
+    std::printf("\n(no hour-by-hour series in this sweep's cells)\n");
+    return;
+  }
+  const std::vector<std::string> labels = column_labels(report);
+  struct Metric {
+    const char* title;
+    double GroupSeriesPoint::* value;
+  };
+  const Metric metrics[] = {{"T-Ratio", &GroupSeriesPoint::t_ratio_mean},
+                            {"F-Ratio", &GroupSeriesPoint::f_ratio_mean},
+                            {"fairness", &GroupSeriesPoint::fairness_mean}};
+  for (const Metric& m : metrics) {
+    std::printf("\n## %s by simulated hour\n%6s", m.title, "hour");
+    for (const std::string& label : labels) {
+      std::printf(" %14s", label.c_str());
+    }
+    std::printf("\n");
+    for (std::size_t row = 0; row < rows; ++row) {
+      // The hour label comes from the first group that sampled this index
+      // (all groups of a sweep share the sampling cadence).
+      double hour = 0.0;
+      for (const GroupStats& g : report.groups) {
+        if (row < g.series.size()) {
+          hour = g.series[row].hour;
+          break;
+        }
+      }
+      std::printf("%6.2f", hour);
+      for (const GroupStats& g : report.groups) {
+        if (row >= g.series.size()) {
+          // Missing sample: marked, never padded with 0.0 — a padded zero
+          // is indistinguishable from a protocol genuinely at the floor.
+          std::printf(" %14s", "-");
+          continue;
+        }
+        const GroupSeriesPoint& pt = g.series[row];
+        char cell[32];
+        std::snprintf(cell, sizeof(cell), "%.3f%s",
+                      pt.*(m.value),
+                      pt.repeats < g.repeats ? "*" : "");
+        std::printf(" %14s", cell);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\n(\"-\" = no sample at that hour; \"*\" = only some repeats "
+              "reached it)\n");
 }
 
 void print_merged_table(const MergedReport& report) {

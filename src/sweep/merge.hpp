@@ -24,6 +24,19 @@
 
 namespace soc::sweep {
 
+/// One hour of a group's figure curve: per-metric means across the repeat
+/// seeds that recorded a sample at this hour index.  `repeats` counts the
+/// cells that actually had the sample — short (ragged) series are NOT
+/// padded with zeros; renderers mark sparse points instead (a padded 0.0
+/// would silently drag a figure's tail toward the floor).
+struct GroupSeriesPoint {
+  double hour = 0.0;
+  std::size_t repeats = 0;  ///< cells contributing this hour index
+  double t_ratio_mean = 0.0;
+  double f_ratio_mean = 0.0;
+  double fairness_mean = 1.0;
+};
+
 /// Statistics of one config group across its repeat seeds.
 struct GroupStats {
   std::string group;
@@ -41,6 +54,8 @@ struct GroupStats {
   /// Worst per-node map density across repeats (max, not mean: one
   /// degenerate run is exactly what the metric exists to surface).
   double slot_span_ratio_max = 1.0;
+  /// Hour-by-hour curve (the figure shape), indexed by sample position.
+  std::vector<GroupSeriesPoint> series;
 };
 
 struct MergedReport {
@@ -63,5 +78,13 @@ bool write_merged_report(const std::string& path, const SweepSpec& spec,
 
 /// Human summary table (stdout): one row per group, mean ± CI.
 void print_merged_table(const MergedReport& report);
+
+/// Figure tables (stdout): one table per metric (T-Ratio, F-Ratio,
+/// fairness), rows = simulated hour, columns = config groups (labels
+/// shortened by dropping key components shared by every group).  Hour
+/// indices a group never sampled print "-"; points where only some of a
+/// group's repeats reached that hour are marked with "*" — ragged series
+/// are surfaced, never zero-padded.
+void print_series_tables(const MergedReport& report);
 
 }  // namespace soc::sweep

@@ -48,6 +48,7 @@ ShardResult run_shard(const Shard& shard, std::uint64_t spec_fingerprint,
     out.stale_misplaced = r.stale_records_misplaced;
     out.slot_span_ratio = r.slot_span_ratio;
     out.wall_seconds = dt.count();
+    out.series = r.series;
     result.cells.push_back(std::move(out));
   }
   return result;
@@ -85,8 +86,10 @@ bool write_shard_result(const std::string& dir, const ShardResult& result) {
         "      \"delivered\": %llu, \"lost\": %llu, \"partitioned\": %llu,\n"
         "      \"stale_dead_provider\": %llu, \"stale_misplaced\": %llu,\n"
         "      \"slot_span_ratio\": %.17g,\n"
-        "      \"wall_seconds\": %.6f }",
-        i > 0 ? "," : "", c.key.c_str(), c.group.c_str(),
+        "      \"wall_seconds\": %.6f,\n"
+        "      \"series\": [",
+        i > 0 ? "," : "", json_mini::escape(c.key).c_str(),
+        json_mini::escape(c.group).c_str(),
         static_cast<unsigned long long>(c.seed), c.t_ratio, c.f_ratio,
         c.fairness, c.msgs_per_node, c.avg_query_delay_s,
         static_cast<unsigned long long>(c.generated),
@@ -102,6 +105,26 @@ bool write_shard_result(const std::string& dir, const ShardResult& result) {
         c.wall_seconds);
     if (n < 0 || static_cast<std::size_t>(n) >= sizeof(buf)) return false;
     out += buf;
+    // The hour-by-hour samples go AFTER every scalar field: the bounded
+    // first-match parser shares key names between the two ("generated",
+    // "t_ratio", …), so within a cell block the scalar must come first.
+    for (std::size_t s = 0; s < c.series.size(); ++s) {
+      const metrics::SeriesSample& p = c.series[s];
+      n = std::snprintf(
+          buf, sizeof(buf),
+          "%s\n        { \"hour\": %.17g, \"generated\": %llu,"
+          " \"finished\": %llu, \"failed\": %llu,\n"
+          "          \"t_ratio\": %.17g, \"f_ratio\": %.17g,"
+          " \"fairness\": %.17g }",
+          s > 0 ? "," : "", p.hour,
+          static_cast<unsigned long long>(p.generated),
+          static_cast<unsigned long long>(p.finished),
+          static_cast<unsigned long long>(p.failed), p.t_ratio, p.f_ratio,
+          p.fairness);
+      if (n < 0 || static_cast<std::size_t>(n) >= sizeof(buf)) return false;
+      out += buf;
+    }
+    out += c.series.empty() ? "] }" : " ] }";
   }
   out += "\n  ]\n}\n";
   return write_atomic(shard_path(dir, result.shard_id), out);
@@ -164,6 +187,32 @@ std::optional<ShardResult> read_shard_result(const std::string& path) {
     c.stale_misplaced = u64("stale_misplaced");
     c.slot_span_ratio = num("slot_span_ratio").value_or(1.0);
     c.wall_seconds = num("wall_seconds").value_or(0.0);
+    // Hour-by-hour samples, delimited by their "hour" key (absent from the
+    // scalar block, and series samples carry no "key", so the cell block
+    // bound above still holds).  Absent in pre-series shard files.
+    const std::string hour_needle = "\"hour\":";
+    std::size_t sp = text->find(hour_needle, pos);
+    while (sp != std::string::npos && sp < block_end) {
+      std::size_t sample_end = text->find(hour_needle, sp + hour_needle.size());
+      if (sample_end == std::string::npos || sample_end > block_end) {
+        sample_end = block_end;
+      }
+      metrics::SeriesSample p;
+      const auto hour = find_number(*text, "hour", sp - 1, sample_end);
+      if (!hour.has_value()) return std::nullopt;
+      p.hour = *hour;
+      p.generated =
+          json_mini::find_uint64(*text, "generated", sp, sample_end).value_or(0);
+      p.finished =
+          json_mini::find_uint64(*text, "finished", sp, sample_end).value_or(0);
+      p.failed =
+          json_mini::find_uint64(*text, "failed", sp, sample_end).value_or(0);
+      p.t_ratio = find_number(*text, "t_ratio", sp, sample_end).value_or(0.0);
+      p.f_ratio = find_number(*text, "f_ratio", sp, sample_end).value_or(0.0);
+      p.fairness = find_number(*text, "fairness", sp, sample_end).value_or(1.0);
+      c.series.push_back(p);
+      sp = text->find(hour_needle, sample_end - 1);
+    }
     r.cells.push_back(std::move(c));
     pos = text->find(needle, block_end - 1);
   }

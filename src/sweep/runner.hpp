@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "src/metrics/task_metrics.hpp"
 #include "src/sweep/shard.hpp"
 
 namespace soc::sweep {
@@ -44,6 +45,10 @@ struct CellResult {
   /// Worst per-node map density at run end (deterministic; ≥ 1.0).
   double slot_span_ratio = 1.0;
   double wall_seconds = 0.0;  ///< nondeterministic; never merged
+  /// Hour-by-hour samples (the paper figures' plotted shape), carried
+  /// through the shard files so the merged report can render Figs. 4–8
+  /// without re-running anything.
+  std::vector<metrics::SeriesSample> series;
 };
 
 struct ShardResult {

@@ -62,7 +62,7 @@ bool write_manifest(const std::string& dir, const Manifest& manifest) {
   std::snprintf(buf, sizeof(buf), "  \"spec_fingerprint\": \"%016llx\",\n",
                 static_cast<unsigned long long>(manifest.spec_fingerprint));
   out += buf;
-  out += "  \"spec\": \"" + manifest.spec + "\",\n";
+  out += "  \"spec\": \"" + json_mini::escape(manifest.spec) + "\",\n";
   std::snprintf(buf, sizeof(buf), "  \"shards_total\": %zu,\n",
                 manifest.shards_total);
   out += buf;
@@ -71,7 +71,7 @@ bool write_manifest(const std::string& dir, const Manifest& manifest) {
     const ShardStatus& s = manifest.shards[i];
     std::snprintf(buf, sizeof(buf),
                   "    { \"id\": %zu, \"cells\": %zu, \"state\": \"%s\" }%s\n",
-                  s.id, s.cells, s.state.c_str(),
+                  s.id, s.cells, json_mini::escape(s.state).c_str(),
                   i + 1 < manifest.shards.size() ? "," : "");
     out += buf;
   }

@@ -47,15 +47,27 @@ struct SweepSpec {
   /// worker command line; arbitrary ScenarioSpecs stay a library-level
   /// Experiment feature.
   std::vector<std::string> scenarios{"none"};
+  /// Churn axis (Fig. 8's dynamic degree): one cell per value.
+  std::vector<double> churns{0.0};
+  /// Named config-modifier axis ("base", "delta4", "fanout2", "sel-nearest",
+  /// "spread-cascade", "checkpoint", … — see apply_variant).  Like
+  /// scenarios, names keep cells addressable from a worker command line;
+  /// the ablation grids are spanned by this axis.
+  std::vector<std::string> variants{"base"};
   std::size_t repeats = 1;       ///< seeds per grid cell
   std::uint64_t base_seed = 1;   ///< mixed into every cell seed
   double hours = 6.0;            ///< simulated duration per experiment
-  double churn_dynamic_degree = 0.0;  ///< baseline churn for every cell
 
   /// Parse from CLI flags (--protocols, --lambdas, --node-counts,
-  /// --scenarios, --repeats, --base-seed, --hours, --churn).  Unknown
-  /// protocol or scenario names return nullopt and print to stderr.
-  [[nodiscard]] static std::optional<SweepSpec> from_args(const CliArgs& args);
+  /// --scenarios, --churns, --variants, --repeats, --base-seed, --hours).
+  /// Unknown protocol/scenario/variant names return nullopt and print to
+  /// stderr.  Flags absent from the command line fall back to `defaults` —
+  /// how `--preset` grids stay overridable by explicit flags.
+  [[nodiscard]] static std::optional<SweepSpec> from_args(
+      const CliArgs& args, const SweepSpec& defaults);
+  [[nodiscard]] static std::optional<SweepSpec> from_args(const CliArgs& args) {
+    return from_args(args, SweepSpec{});
+  }
 
   /// The spec as the equivalent CLI flags — how the orchestrator tells a
   /// worker process what sweep it belongs to.
@@ -81,9 +93,42 @@ struct SweepSpec {
 
   [[nodiscard]] std::size_t cell_count() const {
     return protocols.size() * lambdas.size() * node_counts.size() *
-           scenarios.size() * repeats;
+           scenarios.size() * churns.size() * variants.size() * repeats;
   }
 };
+
+/// Apply a named config modifier — the ablation axis:
+///   base            — no-op (the paper's defaults);
+///   delta<N>        — want_results = N (first-k result count δ);
+///   fanout<N>       — inscan.index_fanout_L = N (diffusion fan-out L);
+///   sel-random / sel-nearest / sel-uniform — NINode selection policy;
+///   spread-strict / spread-cascade — SID spreading-scope reading;
+///   detached / tasks-lost / checkpoint — churn task policy.
+/// Returns false (config untouched) for unknown names — sweep specs must
+/// fail loudly, a shard silently running the wrong config would merge
+/// wrong numbers.
+[[nodiscard]] bool apply_variant(const std::string& name,
+                                 core::ExperimentConfig& config);
+
+/// A named figure/table/ablation grid: the paper's headline artifacts as
+/// SweepSpec defaults, so `sweep_run --preset fig6` reproduces Fig. 6
+/// through the sharded/resumable path.  `spec` carries the scaled default
+/// grid (384 nodes, 6 simulated hours — pass --node-counts 2000 --hours 24
+/// for paper scale; any explicit flag overrides its axis).  Presets whose
+/// artifact is an hour-by-hour curve (Figs. 4–8) set `render_series` so
+/// the merge step prints the figure tables.
+struct SweepPreset {
+  const char* name;
+  const char* what;  ///< one-line description (CLI help)
+  SweepSpec spec;
+  bool render_series = false;
+};
+
+/// All presets, in paper order: fig4..fig8, table3, ablation-*.
+[[nodiscard]] const std::vector<SweepPreset>& sweep_presets();
+
+/// Preset by name; nullptr for unknown names (callers print the list).
+[[nodiscard]] const SweepPreset* preset_by_name(const std::string& name);
 
 /// Resolve a scenario preset against a cell's duration and population:
 ///   none   — disabled spec;

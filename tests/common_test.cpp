@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 #include <vector>
 
@@ -9,7 +10,6 @@
 #include "src/common/resource_vector.hpp"
 #include "src/common/rng.hpp"
 #include "src/common/stats.hpp"
-#include "src/common/thread_pool.hpp"
 #include "src/common/types.hpp"
 
 namespace soc {
@@ -202,17 +202,69 @@ TEST(Histogram, BucketsAndClamping) {
   EXPECT_DOUBLE_EQ(h.bucket_hi(1), 0.5);
 }
 
-TEST(ThreadPool, RunsAllTasks) {
-  ThreadPool pool(4);
-  std::atomic<int> count{0};
-  pool.parallel_for(100, [&](std::size_t) { ++count; });
-  EXPECT_EQ(count.load(), 100);
+TEST(Percentile, SingleElementIsEveryPercentile) {
+  const std::vector<double> v{3.5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 3.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 3.5);
 }
 
-TEST(ThreadPool, SubmitReturnsResult) {
-  ThreadPool pool(2);
-  auto f = pool.submit([] { return 7 * 6; });
-  EXPECT_EQ(f.get(), 42);
+TEST(StudentT95, TableToNormalLimitBoundary) {
+  EXPECT_DOUBLE_EQ(student_t95(0), 0.0);
+  EXPECT_DOUBLE_EQ(student_t95(1), 12.706);
+  // dof 30 is the last table entry; 31 falls to the normal limit.
+  EXPECT_DOUBLE_EQ(student_t95(30), 2.042);
+  EXPECT_DOUBLE_EQ(student_t95(31), 1.960);
+}
+
+TEST(RunningStats, MergeWithEmptySideIsIdentity) {
+  RunningStats filled, empty;
+  for (const double x : {1.0, 2.0, 6.0}) filled.add(x);
+
+  RunningStats a = filled;
+  a.merge(empty);  // empty right side: no-op
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(a.variance(), filled.variance());
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 6.0);
+
+  RunningStats b;  // empty left side: copies the other accumulator
+  b.merge(filled);
+  EXPECT_EQ(b.count(), 3u);
+  EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(b.variance(), filled.variance());
+  EXPECT_DOUBLE_EQ(b.min(), 1.0);
+  EXPECT_DOUBLE_EQ(b.max(), 6.0);
+}
+
+// Regression for the UBSan finding: add() used to cast an unclamped double
+// to std::size_t, UB for NaN, ±inf, negatives, and anything >= bins (the
+// sanitizer lane runs this test under -fsanitize=undefined).
+TEST(Histogram, NonFiniteAndOutOfRangeInputs) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(-std::numeric_limits<double>::infinity());
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(1e300);
+  h.add(-1e300);
+  // NaN belongs to no bucket: counted separately, excluded from total().
+  EXPECT_EQ(h.nan_count(), 1u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(0), 2u);  // -inf and -1e300 clamp low
+  EXPECT_EQ(h.count(3), 2u);  // +inf and 1e300 clamp high
+}
+
+TEST(Histogram, BoundaryValuesLandInCorrectBuckets) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(0.0);    // lo: first bucket
+  h.add(0.25);   // exact bucket edge: belongs to the upper bucket
+  h.add(1.0);    // hi (half-open range): clamps into the last bucket
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.nan_count(), 0u);
 }
 
 TEST(CliArgs, ParsesAllForms) {

@@ -300,6 +300,211 @@ TEST(SweepMerge, MergeIsIdempotentAndShardLayoutIndependent) {
   EXPECT_NE(err.find("shard 1"), std::string::npos) << err;
 }
 
+TEST(SweepSpec, ChurnAndVariantAxesEnumerate) {
+  SweepSpec spec = mini_spec();
+  spec.protocols = {core::ProtocolKind::kHidCan};
+  spec.lambdas = {0.5};
+  spec.node_counts = {24};
+  spec.churns = {0.0, 0.5};
+  spec.variants = {"base", "delta4", "checkpoint"};
+  spec.repeats = 1;
+  const auto cells = spec.enumerate();
+  ASSERT_EQ(cells.size(), 6u);
+
+  std::set<std::string> keys;
+  for (const SweepCell& c : cells) keys.insert(c.key);
+  EXPECT_EQ(keys.size(), cells.size());
+  // The axes land in the config, not just the key.
+  bool saw_churn = false, saw_delta = false, saw_checkpoint = false;
+  for (const SweepCell& c : cells) {
+    if (c.config.churn_dynamic_degree == 0.5) saw_churn = true;
+    if (c.config.want_results == 4) saw_delta = true;
+    if (c.config.churn_task_policy == core::ChurnTaskPolicy::kCheckpointRestart)
+      saw_checkpoint = true;
+  }
+  EXPECT_TRUE(saw_churn);
+  EXPECT_TRUE(saw_delta);
+  EXPECT_TRUE(saw_checkpoint);
+}
+
+TEST(SweepSpec, UnknownVariantIsRejected) {
+  core::ExperimentConfig config;
+  EXPECT_FALSE(apply_variant("no-such-variant", config));
+  EXPECT_TRUE(apply_variant("base", config));
+}
+
+TEST(SweepPresets, EveryPresetResolvesAndEnumerates) {
+  ASSERT_FALSE(sweep_presets().empty());
+  std::set<std::string> names;
+  for (const SweepPreset& p : sweep_presets()) {
+    EXPECT_TRUE(names.insert(p.name).second) << p.name << " duplicated";
+    const SweepPreset* found = preset_by_name(p.name);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found, &p);
+    EXPECT_GT(p.spec.cell_count(), 0u) << p.name;
+    // Presets must enumerate cleanly (valid protocol/scenario/variant
+    // names throughout — enumerate() would die on an unknown variant).
+    EXPECT_EQ(p.spec.enumerate().size(), p.spec.cell_count()) << p.name;
+  }
+  EXPECT_EQ(preset_by_name("no-such-figure"), nullptr);
+
+  // Spot-check the headline grids against the paper.
+  const SweepPreset* fig6 = preset_by_name("fig6");
+  ASSERT_NE(fig6, nullptr);
+  EXPECT_EQ(fig6->spec.protocols.size(), 6u);
+  EXPECT_TRUE(fig6->render_series);
+  const SweepPreset* table3 = preset_by_name("table3");
+  ASSERT_NE(table3, nullptr);
+  EXPECT_EQ(table3->spec.node_counts.size(), 6u);
+  EXPECT_FALSE(table3->render_series);
+  const SweepPreset* fig8 = preset_by_name("fig8");
+  ASSERT_NE(fig8, nullptr);
+  EXPECT_EQ(fig8->spec.churns.size(), 5u);
+}
+
+TEST(SweepRunner, SeriesRoundTripsThroughShardFile) {
+  const TempDir dir("series");
+  ShardResult result;
+  result.spec_fingerprint = 0x1234;
+  result.shard_id = 0;
+  result.shards_total = 1;
+  CellResult c;
+  c.key = "HID-CAN/l0.5/n24/none/c0/base/r0";
+  c.group = "HID-CAN/l0.5/n24/none/c0/base";
+  c.seed = 42;
+  c.t_ratio = 0.25;
+  for (int h = 1; h <= 3; ++h) {
+    metrics::SeriesSample s;
+    s.hour = h;
+    s.generated = static_cast<std::uint64_t>(10 * h);
+    s.finished = static_cast<std::uint64_t>(4 * h);
+    s.failed = static_cast<std::uint64_t>(h);
+    s.t_ratio = 0.4 + 0.01 * h;
+    s.f_ratio = 0.1 / h;
+    s.fairness = 1.0 - 0.001 * h;
+    c.series.push_back(s);
+  }
+  result.cells.push_back(c);
+  // A second cell without series: the parser must not steal the first
+  // cell's samples across the block boundary.
+  CellResult empty = c;
+  empty.key = "HID-CAN/l0.5/n24/none/c0/base/r1";
+  empty.series.clear();
+  result.cells.push_back(empty);
+
+  ASSERT_TRUE(write_shard_result(dir.path(), result));
+  const auto back = read_shard_result(shard_path(dir.path(), 0));
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->cells.size(), 2u);
+  ASSERT_EQ(back->cells[0].series.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const metrics::SeriesSample& a = c.series[i];
+    const metrics::SeriesSample& b = back->cells[0].series[i];
+    EXPECT_EQ(a.hour, b.hour);
+    EXPECT_EQ(a.generated, b.generated);
+    EXPECT_EQ(a.finished, b.finished);
+    EXPECT_EQ(a.failed, b.failed);
+    EXPECT_EQ(a.t_ratio, b.t_ratio);   // %.17g: bit-exact
+    EXPECT_EQ(a.f_ratio, b.f_ratio);
+    EXPECT_EQ(a.fairness, b.fairness);
+  }
+  EXPECT_TRUE(back->cells[1].series.empty());
+  // The scalar fields still parse to the scalar values, not a series
+  // sample's recurrence of the same key names.
+  EXPECT_EQ(back->cells[0].t_ratio, 0.25);
+  EXPECT_EQ(back->cells[0].generated, 0u);
+}
+
+TEST(SweepRunner, EscapedLabelsRoundTripThroughShardFile) {
+  const TempDir dir("escape");
+  ShardResult result;
+  result.spec_fingerprint = 0x5678;
+  result.shard_id = 0;
+  result.shards_total = 1;
+  CellResult c;
+  c.key = "weird\"proto\\x/l0.5\tn24\n/r0";  // every escape class at once
+  c.group = "weird\"proto\\x";
+  c.t_ratio = 0.5;
+  result.cells.push_back(c);
+
+  ASSERT_TRUE(write_shard_result(dir.path(), result));
+  const auto back = read_shard_result(shard_path(dir.path(), 0));
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->cells.size(), 1u);
+  EXPECT_EQ(back->cells[0].key, c.key);
+  EXPECT_EQ(back->cells[0].group, c.group);
+}
+
+TEST(SweepRunner, RaggedSeriesRoundTripWithoutPadding) {
+  const TempDir dir("gseries");
+  ShardResult result;
+  result.spec_fingerprint = 0x9abc;
+  result.shard_id = 0;
+  result.shards_total = 1;
+  // Two repeats of one group; the second repeat's series is one hour
+  // shorter.  The shard file must preserve the ragged lengths — padding a
+  // short series with zeros (the old print_series bug) would fabricate a
+  // sample the run never produced.
+  for (int rep = 0; rep < 2; ++rep) {
+    CellResult c;
+    c.key = "P/l0.5/n24/none/c0/base/r" + std::to_string(rep);
+    c.group = "P/l0.5/n24/none/c0/base";
+    const int hours = rep == 0 ? 3 : 2;
+    for (int h = 1; h <= hours; ++h) {
+      metrics::SeriesSample s;
+      s.hour = h;
+      s.t_ratio = rep == 0 ? 0.5 : 0.7;
+      s.fairness = 1.0;
+      c.series.push_back(s);
+    }
+    result.cells.push_back(c);
+  }
+  ASSERT_TRUE(write_shard_result(dir.path(), result));
+  const auto back = read_shard_result(shard_path(dir.path(), 0));
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->cells.size(), 2u);
+  EXPECT_EQ(back->cells[0].series.size(), 3u);
+  EXPECT_EQ(back->cells[1].series.size(), 2u);
+}
+
+TEST(SweepMerge, MergedGroupSeriesFromRealRun) {
+  const TempDir dir("realseries");
+  SweepSpec spec = mini_spec();
+  spec.protocols = {core::ProtocolKind::kNewscast};
+  spec.lambdas = {0.5};
+  spec.node_counts = {24};
+  spec.repeats = 2;
+  spec.hours = 2.0;  // two hourly samples
+  const std::uint64_t fp = spec.fingerprint();
+  for (const Shard& shard : partition(spec, 2)) {
+    ASSERT_TRUE(write_shard_result(dir.path(), run_shard(shard, fp, 2)));
+  }
+  std::string err;
+  const auto merged = merge_shards(dir.path(), spec, 2, &err);
+  ASSERT_TRUE(merged.has_value()) << err;
+  ASSERT_EQ(merged->groups.size(), 1u);
+  const GroupStats& g = merged->groups[0];
+  ASSERT_EQ(g.series.size(), 2u);
+  EXPECT_EQ(g.series[0].hour, 1.0);
+  EXPECT_EQ(g.series[1].hour, 2.0);
+  for (const GroupSeriesPoint& p : g.series) {
+    EXPECT_EQ(p.repeats, 2u) << "both repeats sample every hour";
+  }
+  // The group curve is the mean of the two repeats' curves.
+  RunningStats t0;
+  for (const CellResult& c : merged->cells) {
+    ASSERT_EQ(c.series.size(), 2u);
+    t0.add(c.series[0].t_ratio);
+  }
+  EXPECT_EQ(g.series[0].t_ratio_mean, t0.mean());
+  // And the merged report keeps its series after the write.
+  const std::string path = dir.path() + "/merged.json";
+  ASSERT_TRUE(write_merged_report(path, spec, *merged));
+  const auto text = read_file(path);
+  ASSERT_TRUE(text.has_value());
+  EXPECT_NE(text->find("\"series\": ["), std::string::npos);
+}
+
 TEST(SweepMerge, GroupStatsMatchHandComputedCi) {
   const TempDir dir("ci");
   SweepSpec spec = mini_spec();

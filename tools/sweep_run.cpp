@@ -9,9 +9,19 @@
 //   sweep_run --mode=merge        --dir D --shards N [--merged P] <spec>
 //
 // <spec> (the grid; every flag takes a comma-separated list):
+//   --preset fig6                            (a paper figure/table/ablation
+//                                            grid as spec defaults; any
+//                                            explicit flag overrides its
+//                                            axis — see --preset=list)
 //   --protocols HID-CAN,Newscast,KHDN-CAN   --lambdas 0.3,0.5
 //   --node-counts 96,384                    --scenarios none,flash
-//   --repeats 3 --base-seed 1 --hours 6 --churn 0.0
+//   --churns 0.0,0.5                        --variants base,delta4
+//   --repeats 3 --base-seed 1 --hours 6
+//
+// The paper's figures reproduce through the presets: `sweep_run --preset
+// fig4 --dir out/fig4` (likewise fig5..fig8, table3, ablation-*) runs the
+// figure's grid sharded + resumable and prints its hour-by-hour tables
+// after the merge.  --series=0/1 forces the figure tables off/on.
 //
 // Modes:
 //   orchestrate  spawn W concurrent worker processes for the shards that
@@ -72,7 +82,8 @@ std::string self_exe(const char* argv0) {
 }
 
 int run_merge(const std::string& dir, const sweep::SweepSpec& spec,
-              std::size_t shards_total, const std::string& merged_path) {
+              std::size_t shards_total, const std::string& merged_path,
+              bool render_series) {
   std::string err;
   const auto report = sweep::merge_shards(dir, spec, shards_total, &err);
   if (!report.has_value()) {
@@ -84,8 +95,16 @@ int run_merge(const std::string& dir, const sweep::SweepSpec& spec,
     return 1;
   }
   sweep::print_merged_table(*report);
+  if (render_series) sweep::print_series_tables(*report);
   std::printf("\nwrote %s\n", merged_path.c_str());
   return 0;
+}
+
+void list_presets() {
+  std::fprintf(stderr, "sweep_run: available presets:\n");
+  for (const sweep::SweepPreset& p : sweep::sweep_presets()) {
+    std::fprintf(stderr, "  %-20s %s\n", p.name, p.what);
+  }
 }
 
 }  // namespace
@@ -100,9 +119,34 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "sweep_run: --shards must be >= 1\n");
     return 2;
   }
-  const auto spec_opt = sweep::SweepSpec::from_args(args);
+  // A preset seeds the spec defaults; explicit axis flags still override.
+  const std::string preset_name = args.get("preset", "");
+  const sweep::SweepPreset* preset = nullptr;
+  if (preset_name == "list") {
+    list_presets();
+    return 0;
+  }
+  if (!preset_name.empty()) {
+    preset = sweep::preset_by_name(preset_name);
+    if (preset == nullptr) {
+      std::fprintf(stderr, "sweep_run: unknown --preset '%s'\n",
+                   preset_name.c_str());
+      list_presets();
+      return 2;
+    }
+  }
+  const auto spec_opt =
+      preset != nullptr
+          ? sweep::SweepSpec::from_args(args, preset->spec)
+          : sweep::SweepSpec::from_args(args);
   if (!spec_opt.has_value()) return 2;
   const sweep::SweepSpec spec = *spec_opt;
+  // Figure presets print their hour-by-hour tables after the merge;
+  // --series overrides in either direction.
+  const bool render_series =
+      args.get_int("series", preset != nullptr && preset->render_series ? 1
+                                                                        : 0)
+      != 0;
   const std::string merged_path =
       args.get("merged", dir + "/SWEEP_merged.json");
   if (!mkdir_p(dir)) {
@@ -139,7 +183,7 @@ int main(int argc, char** argv) {
   }
 
   if (mode == "merge") {
-    return run_merge(dir, spec, shards_total, merged_path);
+    return run_merge(dir, spec, shards_total, merged_path, render_series);
   }
 
   if (mode == "plan") {
@@ -183,7 +227,7 @@ int main(int argc, char** argv) {
     std::printf("shards: %zu ran, %zu resumed as done, %zu failed\n",
                 outcome->ran, outcome->skipped, outcome->failed);
     if (!outcome->ok()) return 1;
-    return run_merge(dir, spec, shards_total, merged_path);
+    return run_merge(dir, spec, shards_total, merged_path, render_series);
   }
 
   std::fprintf(stderr,
