@@ -71,6 +71,10 @@ struct BenchOptions {
 //         "messages": 500, "messages_per_sec": 406.5,
 //         "t_ratio": 0.9, "f_ratio": 0.05, "msgs_per_node": 120.0,
 //         "slot_span_ratio": 1.0,   // per-node map density (≥ 1.0)
+//         "latency": {              // per-query tail latency (seconds)
+//           "first_result": { "n": 100, "mean_s": 1.0, "p50_s": 0.8,
+//                             "p95_s": 2.0, "p99_s": 3.0, "p999_s": 4.0 },
+//           "finish": { ... } },
 //         "traffic": [
 //           { "type": "state-update", "sent": 10, "delivered": 9,
 //             "lost": 1 } ] }
@@ -94,6 +98,8 @@ struct PerfSample {
   std::uint64_t stale_dead_provider = 0;
   std::uint64_t stale_misplaced = 0;
   double slot_span_ratio = 1.0;
+  metrics::LatencyHistogram latency_first_result;
+  metrics::LatencyHistogram latency_finish;
   std::vector<core::ExperimentResults::MsgTypeCounts> traffic;
 };
 
@@ -126,8 +132,22 @@ inline PerfSample timed_run(const core::ExperimentConfig& config) {
   s.stale_dead_provider = r.stale_records_dead_provider;
   s.stale_misplaced = r.stale_records_misplaced;
   s.slot_span_ratio = r.slot_span_ratio;
+  s.latency_first_result = r.latency_first_result;
+  s.latency_finish = r.latency_finish;
   s.traffic = r.traffic_by_type;
   return s;
+}
+
+/// One "latency" sub-object line for write_perf_json.
+inline void write_latency_json(std::FILE* f, const char* key,
+                               const metrics::LatencyHistogram& h,
+                               const char* trailer) {
+  std::fprintf(f,
+               "\"%s\": { \"n\": %llu, \"mean_s\": %.6f, \"p50_s\": %.6f, "
+               "\"p95_s\": %.6f, \"p99_s\": %.6f, \"p999_s\": %.6f }%s",
+               key, static_cast<unsigned long long>(h.total()), h.mean_s(),
+               h.percentile_s(50.0), h.percentile_s(95.0),
+               h.percentile_s(99.0), h.percentile_s(99.9), trailer);
 }
 
 /// Emit the perf-trajectory JSON; returns false (with a warning) on I/O
@@ -169,7 +189,7 @@ inline bool write_perf_json(const std::string& path, const char* bench_name,
                  "      \"stale_dead_provider\": %llu, "
                  "\"stale_misplaced\": %llu,\n"
                  "      \"slot_span_ratio\": %.3f,\n"
-                 "      \"traffic\": [",
+                 "      \"latency\": { ",
                  json_mini::escape(s.name).c_str(), s.wall_seconds,
                  static_cast<unsigned long long>(s.events),
                  static_cast<double>(s.events) / wall,
@@ -180,6 +200,9 @@ inline bool write_perf_json(const std::string& path, const char* bench_name,
                  static_cast<unsigned long long>(s.stale_dead_provider),
                  static_cast<unsigned long long>(s.stale_misplaced),
                  s.slot_span_ratio);
+    write_latency_json(f, "first_result", s.latency_first_result, ", ");
+    write_latency_json(f, "finish", s.latency_finish, " },\n");
+    std::fprintf(f, "      \"traffic\": [");
     for (std::size_t t = 0; t < s.traffic.size(); ++t) {
       const auto& m = s.traffic[t];
       std::fprintf(f,

@@ -11,6 +11,10 @@
 #   scripts/ci.sh figures   # figure-reproduction smoke (-L figures): a
 #                           # reduced-grid `sweep_run --preset` run per
 #                           # figure class, 2 workers, series tables
+#   scripts/ci.sh serving   # serving-workload lane (-L serving): the
+#                           # reduced `--preset serving` grid (closed-loop
+#                           # clients, Zipf skew, latency histograms)
+#                           # through the 2-worker sharded path
 #   scripts/ci.sh scale     # 100k-node bench_scale smoke with the
 #                           # double-run bit-identity check (the 1M proof
 #                           # runs in the nightly lane)
@@ -54,6 +58,9 @@ case "$lane" in
   figures)
     ctest -L figures --output-on-failure -j8
     ;;
+  serving)
+    ctest -L serving --output-on-failure -j8
+    ;;
   scale)
     # Serialized on purpose: the scale run is itself the measurement.
     ctest -C scale -L scale --output-on-failure
@@ -67,7 +74,7 @@ case "$lane" in
     ctest -C nightly --output-on-failure -j8
     ;;
   *)
-    echo "usage: scripts/ci.sh [unit|sweep|figures|scale|full|nightly|asan]" >&2
+    echo "usage: scripts/ci.sh [unit|sweep|figures|serving|scale|full|nightly|asan]" >&2
     exit 2
     ;;
 esac

@@ -46,14 +46,18 @@ void RunningStats::merge(const RunningStats& other) {
 }
 
 double jain_fairness(std::span<const double> values) {
-  if (values.empty()) return 1.0;
   double sum = 0.0, sum_sq = 0.0;
   for (const double v : values) {
     sum += v;
     sum_sq += v * v;
   }
+  return jain_from_moments(values.size(), sum, sum_sq);
+}
+
+double jain_from_moments(std::size_t n, double sum, double sum_sq) {
+  if (n == 0) return 1.0;
   if (sum_sq == 0.0) return 1.0;
-  return (sum * sum) / (static_cast<double>(values.size()) * sum_sq);
+  return (sum * sum) / (static_cast<double>(n) * sum_sq);
 }
 
 double percentile(std::vector<double> values, double p) {

@@ -37,6 +37,13 @@ class RunningStats {
 /// fair) and is always within (0, 1].
 double jain_fairness(std::span<const double> values);
 
+/// Jain's index from pre-accumulated moments (n values summing to `sum`
+/// with Σv² = `sum_sq`).  Streaming callers that fold values left-to-right
+/// with `sum += v; sum_sq += v * v` get bit-identical results to
+/// jain_fairness over the same sequence — the metrics series relies on
+/// this to drop its per-event vectors.
+double jain_from_moments(std::size_t n, double sum, double sum_sq);
+
 /// Percentile of a copy of the data (p in [0,100], linear interpolation).
 double percentile(std::vector<double> values, double p);
 

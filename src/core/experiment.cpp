@@ -58,9 +58,19 @@ struct Experiment::TaskRun {
   std::size_t attempts = 0;       // query attempts so far
   std::size_t dispatches = 0;     // dispatch attempts so far
   bool settled = false;           // placed or failed (guards timeouts)
+  bool is_restart = false;        // checkpoint re-entry, not a fresh submit
+  bool first_result_seen = false; // first-result latency already recorded
   std::unordered_set<NodeId> tried;  // providers that already rejected us
   std::vector<Discovered> backlog;   // untried candidates from the last query
+  std::function<void()> on_complete;  // closed-loop client wakeup (nullable)
 };
+
+namespace {
+/// submit → now as non-negative integer microseconds for the histograms.
+std::uint64_t latency_us(SimTime submit, SimTime now) {
+  return now > submit ? static_cast<std::uint64_t>(now - submit) : 0;
+}
+}  // namespace
 
 Experiment::Experiment(ExperimentConfig config)
     : config_(config), sim_(config.seed), rng_(sim_.rng().fork("experiment")),
@@ -127,6 +137,20 @@ Experiment::Experiment(ExperimentConfig config)
       protocol_ = std::make_unique<KhdnProtocol>(
           sim_, *bus_, cmax, config_.khdn, rng_.fork("khdn"));
       break;
+  }
+
+  if (config_.serving.skewed()) {
+    // A dedicated fork keeps the skew draws off every other component's
+    // stream; fixed per-key profiles mean a hot key re-demands the exact
+    // same vector, concentrating load on the same duty-node region.
+    serving_rng_.emplace(rng_.fork("serving"));
+    zipf_.emplace(config_.serving.zipf_keys, config_.serving.zipf_exponent);
+    Rng profile_rng = rng_.fork("serving-profiles");
+    demand_profiles_.reserve(config_.serving.zipf_keys);
+    for (std::size_t k = 0; k < config_.serving.zipf_keys; ++k) {
+      demand_profiles_.push_back(
+          task_gen_.generate(NodeId(0), 0, 0, profile_rng).expectation);
+    }
   }
 
   protocol_->set_availability_source(
@@ -309,6 +333,16 @@ std::string Experiment::check_accounting() const {
 }
 
 void Experiment::start_arrivals(NodeId id) {
+  // Closed-loop serving mode replaces the Poisson chain outright: each
+  // client issues its next task from its previous task's completion.
+  // Every join path (setup, churn replacement, scenario join) funnels
+  // through here, so replacement hosts get clients too.
+  if (config_.serving.closed_loop()) {
+    for (std::size_t c = 0; c < config_.serving.clients_per_node; ++c) {
+      schedule_client_issue(id);
+    }
+    return;
+  }
   // Recursive Poisson arrival chain; stops when the host churns out or the
   // submission horizon passes.
   //
@@ -322,7 +356,14 @@ void Experiment::start_arrivals(NodeId id) {
 }
 
 void Experiment::schedule_next_arrival(NodeId id, double mean_s) {
-  const SimTime delay = workload::next_arrival_delay(mean_s, rng_);
+  // The diurnal curve stretches/compresses the *current* inter-arrival
+  // draw; when disabled the mean is passed through untouched so the draw
+  // sequence is bit-identical to the pre-serving code.
+  const double mean =
+      config_.serving.diurnal()
+          ? mean_s / workload::diurnal_factor(config_.serving, sim_.now())
+          : mean_s;
+  const SimTime delay = workload::next_arrival_delay(mean, rng_);
   if (sim_.now() + delay > config_.duration) return;
   sim_.schedule_after(delay, [this, id, mean_s] {
     if (!hosts_.alive(id)) return;
@@ -331,14 +372,45 @@ void Experiment::schedule_next_arrival(NodeId id, double mean_s) {
   });
 }
 
+void Experiment::schedule_client_issue(NodeId id) {
+  const double mean =
+      config_.serving.think_time_s /
+      workload::diurnal_factor(config_.serving, sim_.now());
+  const SimTime delay = workload::next_arrival_delay(mean, rng_);
+  if (sim_.now() + delay > config_.duration) return;
+  sim_.schedule_after(delay, [this, id] {
+    if (!hosts_.alive(id)) return;
+    submit_task_internal(id, [this, id] { schedule_client_issue(id); });
+  });
+}
+
 void Experiment::submit_task(NodeId origin) {
+  submit_task_internal(origin, {});
+}
+
+void Experiment::submit_task_internal(NodeId origin,
+                                      std::function<void()> on_complete) {
   drain_cold_reap();
-  const psm::TaskSpec spec =
+  psm::TaskSpec spec =
       task_gen_.generate(origin, hosts_.bump_seq(origin), sim_.now(), rng_);
+  if (zipf_.has_value()) apply_demand_profile(spec);
   metrics_.on_generated(sim_.now());
   auto run = std::make_shared<TaskRun>();
   run->spec = spec;
+  run->on_complete = std::move(on_complete);
   begin_query(run);
+}
+
+void Experiment::apply_demand_profile(psm::TaskSpec& spec) {
+  // Keep the freshly drawn execution time; swap the demand vector for the
+  // drawn key's fixed profile and re-derive the rate workloads so the
+  // execution model stays consistent (workload = expectation · exec time).
+  const double exec_s = spec.expected_exec_seconds();
+  const ResourceVector& e = demand_profiles_[zipf_->draw(*serving_rng_)];
+  spec.expectation = e;
+  for (std::size_t k = 0; k < psm::kRateDims; ++k) {
+    spec.workload[k] = e[k] * exec_s;
+  }
 }
 
 void Experiment::begin_query(const std::shared_ptr<TaskRun>& run) {
@@ -387,6 +459,15 @@ void Experiment::on_candidates(const std::shared_ptr<TaskRun>& run,
     retry_or_fail(run);
     return;
   }
+  if (!run->first_result_seen) {
+    run->first_result_seen = true;
+    // Fresh submissions only: a checkpoint restart re-enters the pipeline
+    // mid-life and would double-count against its original submit time.
+    if (!run->is_restart) {
+      lat_first_result_.record_us(latency_us(run->spec.submit_time,
+                                             sim_.now()));
+    }
+  }
   run->tried.insert(best);
   dispatch(run, best);
 }
@@ -419,7 +500,8 @@ void Experiment::dispatch(const std::shared_ptr<TaskRun>& run,
             sched != nullptr && (sched->is_running(run->spec.id) ||
                                  sched->admit(run->spec));
         if (admitted) {
-          in_flight_.emplace(run->spec.id, Placement{run->spec, provider});
+          in_flight_.emplace(run->spec.id,
+                             Placement{run->spec, provider, run->on_complete});
         }
         // Either way the provider's availability picture changed (or the
         // advertised record proved stale): push a fresh state update so
@@ -451,6 +533,7 @@ void Experiment::retry_or_fail(const std::shared_ptr<TaskRun>& run) {
   if (!origin_alive || run->attempts > config_.max_query_retries) {
     run->settled = true;
     metrics_.on_failed(sim_.now());
+    if (run->on_complete) run->on_complete();
     if (config_.diagnose_failures) {
       // Ground truth at failure time: could any alive host admit the task?
       bool feasible = false;
@@ -505,8 +588,12 @@ void Experiment::on_host_finished_task(NodeId host,
   if (it == in_flight_.end()) return;
   metrics_.on_finished(sim_.now(),
                        efficiency_of(it->second.spec, info.finished_at));
+  lat_finish_.record_us(
+      latency_us(it->second.spec.submit_time, info.finished_at));
+  std::function<void()> wake = std::move(it->second.on_complete);
   in_flight_.erase(it);
   checkpoints_.erase(info.id);
+  if (wake) wake();
 }
 
 void Experiment::drain_cold_reap() {
@@ -577,8 +664,14 @@ void Experiment::on_host_departed(NodeId victim) {
         }
         wasted_work_ += done;
         metrics_.on_failed(sim_.now());
-        in_flight_.erase(progress.spec.id);
+        std::function<void()> wake;
+        if (const auto it = in_flight_.find(progress.spec.id);
+            it != in_flight_.end()) {
+          wake = std::move(it->second.on_complete);
+          in_flight_.erase(it);
+        }
         checkpoints_.erase(progress.spec.id);
+        if (wake) wake();
       }
       break;
     }
@@ -586,8 +679,13 @@ void Experiment::on_host_departed(NodeId victim) {
       for (const auto& progress :
            hosts_.scheduler(victim)->abort_all_with_progress()) {
         ++tasks_killed_by_churn_;
-        in_flight_.erase(progress.spec.id);
-        restart_from_checkpoint(progress);
+        std::function<void()> wake;
+        if (const auto it = in_flight_.find(progress.spec.id);
+            it != in_flight_.end()) {
+          wake = std::move(it->second.on_complete);
+          in_flight_.erase(it);
+        }
+        restart_from_checkpoint(progress, std::move(wake));
       }
       break;
     }
@@ -602,7 +700,8 @@ void Experiment::on_host_departed(NodeId victim) {
 }
 
 void Experiment::restart_from_checkpoint(
-    const psm::PsmScheduler::Progress& progress) {
+    const psm::PsmScheduler::Progress& progress,
+    std::function<void()> on_complete) {
   const TaskId id = progress.spec.id;
   // Work since the last snapshot is lost and must be redone.
   const auto cp = checkpoints_.lookup(id);
@@ -620,6 +719,7 @@ void Experiment::restart_from_checkpoint(
   if (!origin_alive || restarts > config_.checkpoint.max_restarts) {
     metrics_.on_failed(sim_.now());
     checkpoints_.erase(id);
+    if (on_complete) on_complete();
     return;
   }
   ++checkpoint_restarts_;
@@ -630,6 +730,8 @@ void Experiment::restart_from_checkpoint(
   if (cp.has_value()) spec.workload = cp->remaining;
   auto run = std::make_shared<TaskRun>();
   run->spec = spec;
+  run->is_restart = true;
+  run->on_complete = std::move(on_complete);
   begin_query(run);
 }
 
@@ -706,6 +808,8 @@ ExperimentResults Experiment::results() const {
   r.stale_records_misplaced =
       std::max(peak_stale_debt_.misplaced, debt.misplaced);
   r.slot_span_ratio = protocol_->max_slot_span_ratio();
+  r.latency_first_result = lat_first_result_;
+  r.latency_finish = lat_finish_;
   return r;
 }
 

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <array>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -18,6 +19,7 @@
 #include "src/gossip/newscast.hpp"
 #include "src/index/inscan.hpp"
 #include "src/khdn/khdn.hpp"
+#include "src/metrics/latency_histogram.hpp"
 #include "src/metrics/task_metrics.hpp"
 #include "src/net/message_bus.hpp"
 #include "src/net/topology.hpp"
@@ -26,6 +28,7 @@
 #include "src/query/query_engine.hpp"
 #include "src/scenario/spec.hpp"
 #include "src/workload/generator.hpp"
+#include "src/workload/serving.hpp"
 
 namespace soc::scenario {
 class ScenarioEngine;
@@ -114,6 +117,12 @@ struct ExperimentConfig {
   /// RNG stream and leaves every delivery bit-identical.
   net::LinkFaultConfig link_faults;
 
+  /// Opt-in serving workload shaping (src/workload/serving): closed-loop
+  /// clients, Zipfian hot-key demand skew, diurnal arrival curve.  The
+  /// disabled default forks no RNG stream and runs the exact open-loop
+  /// Poisson paths, so default trajectories stay bit-identical.
+  workload::ServingConfig serving;
+
   index::InscanConfig inscan;
   query::QueryConfig query;
   gossip::NewscastConfig newscast;           ///< view_size auto if 0
@@ -178,6 +187,15 @@ struct ExperimentResults {
   /// what the fault cost.
   std::uint64_t stale_records_dead_provider = 0;
   std::uint64_t stale_records_misplaced = 0;
+
+  /// Per-query latency distributions (always recorded — passive integer
+  /// counters on existing paths, no extra events or RNG draws):
+  /// submit → first qualified candidate in hand (fresh submissions only;
+  /// checkpoint restarts re-enter the query pipeline mid-life), and
+  /// submit → task finished (spanning restarts).  Mergeable bucket-wise
+  /// across sweep shards.
+  metrics::LatencyHistogram latency_first_result;
+  metrics::LatencyHistogram latency_finish;
 
   /// Max slot_span()/size() over the protocol's per-node state maps at
   /// collection time: 1.0 when dense, bounded by the DenseNodeMap
@@ -275,12 +293,21 @@ class Experiment {
   /// One link of the Poisson arrival chain: draw the next gap, stop past
   /// the horizon, otherwise submit-and-recurse at the drawn time.
   void schedule_next_arrival(NodeId id, double mean_s);
+  /// One closed-loop client: think (exponential), then issue; the next
+  /// issue is chained from the task's completion, not from a rate.
+  void schedule_client_issue(NodeId id);
+  /// Shared submission path; `on_complete` (nullable) fires exactly once
+  /// when the task settles terminally (finished, failed, or lost).
+  void submit_task_internal(NodeId origin, std::function<void()> on_complete);
+  /// Replace a fresh Table II demand draw by a Zipf-popular key profile.
+  void apply_demand_profile(psm::TaskSpec& spec);
   void start_churn();
   /// One link of the churn chain (depart + join per firing).
   void schedule_next_churn(double mean_gap_s);
   void start_checkpointing();
   void on_host_departed(NodeId victim);
-  void restart_from_checkpoint(const psm::PsmScheduler::Progress& progress);
+  void restart_from_checkpoint(const psm::PsmScheduler::Progress& progress,
+                               std::function<void()> on_complete);
   void begin_query(const std::shared_ptr<TaskRun>& run);
   void on_candidates(const std::shared_ptr<TaskRun>& run,
                      std::vector<Discovered> candidates);
@@ -307,10 +334,18 @@ class Experiment {
   struct Placement {
     psm::TaskSpec spec;
     NodeId provider;
+    /// Closed-loop client wakeup (empty unless serving.closed_loop()).
+    std::function<void()> on_complete;
   };
   FlatMap<TaskId, Placement> in_flight_;  ///< open-addressing; no node allocs
   psm::CheckpointStore checkpoints_;
   metrics::TaskMetrics metrics_;
+  metrics::LatencyHistogram lat_first_result_;
+  metrics::LatencyHistogram lat_finish_;
+  /// Serving skew state, populated only when config.serving.skewed().
+  std::optional<Rng> serving_rng_;
+  std::optional<workload::ZipfGenerator> zipf_;
+  std::vector<ResourceVector> demand_profiles_;
   RunningStats query_delay_s_;
   RunningStats dispatch_attempts_;
   ResourceVector avg_capacity_;

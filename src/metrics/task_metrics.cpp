@@ -6,64 +6,80 @@
 
 namespace soc::metrics {
 
-void TaskMetrics::on_generated(SimTime at) { generated_.push_back(at); }
-void TaskMetrics::on_failed(SimTime at) { failed_.push_back(at); }
+void TaskMetrics::Stream::add(SimTime at, double value) {
+  SOC_CHECK(at >= 0);
+  // Bucket boundary b (time b * 60 s) includes events with at <= b * 60 s,
+  // so an event at `at` leaves every bucket strictly before ceil(at / 60 s)
+  // final.  Events must not arrive behind an already-final boundary.
+  const auto want =
+      at > 0 ? static_cast<std::uint64_t>((at - 1) / kGranularity) : 0;
+  SOC_CHECK(want >= closed);
+  if (want > closed) {
+    snaps.push_back(Snap{want, cur});
+    closed = want;
+  }
+  ++cur.count;
+  cur.sum += value;
+  cur.sum_sq += value * value;
+}
+
+const TaskMetrics::Stream::State& TaskMetrics::Stream::at_bucket(
+    std::uint64_t bucket) const {
+  if (bucket > closed) return cur;
+  const auto it = std::lower_bound(
+      snaps.begin(), snaps.end(), bucket,
+      [](const Snap& s, std::uint64_t b) { return s.through_bucket < b; });
+  SOC_CHECK(it != snaps.end());
+  return it->state;
+}
+
+void TaskMetrics::on_generated(SimTime at) { generated_.add(at, 0.0); }
+void TaskMetrics::on_failed(SimTime at) { failed_.add(at, 0.0); }
 void TaskMetrics::on_finished(SimTime at, double efficiency) {
-  finished_.push_back(Finish{at, efficiency});
+  finished_.add(at, efficiency);
 }
 
 double TaskMetrics::t_ratio() const {
-  return generated_.empty() ? 0.0
-                            : static_cast<double>(finished_.size()) /
-                                  static_cast<double>(generated_.size());
+  return generated_.cur.count == 0
+             ? 0.0
+             : static_cast<double>(finished_.cur.count) /
+                   static_cast<double>(generated_.cur.count);
 }
 
 double TaskMetrics::f_ratio() const {
-  return generated_.empty() ? 0.0
-                            : static_cast<double>(failed_.size()) /
-                                  static_cast<double>(generated_.size());
+  return generated_.cur.count == 0
+             ? 0.0
+             : static_cast<double>(failed_.cur.count) /
+                   static_cast<double>(generated_.cur.count);
 }
 
 double TaskMetrics::fairness() const {
-  std::vector<double> eff;
-  eff.reserve(finished_.size());
-  for (const auto& f : finished_) eff.push_back(f.efficiency);
-  return jain_fairness(eff);
+  return jain_from_moments(finished_.cur.count, finished_.cur.sum,
+                           finished_.cur.sum_sq);
 }
 
 std::vector<SeriesSample> TaskMetrics::series(SimTime horizon,
                                               SimTime step) const {
   SOC_CHECK(step > 0);
-  // Events arrive in nondecreasing time order from the simulator; sort
-  // defensively so the class also works with out-of-order insertion.
-  auto gen = generated_;
-  auto fail = failed_;
-  auto fin = finished_;
-  std::sort(gen.begin(), gen.end());
-  std::sort(fail.begin(), fail.end());
-  std::sort(fin.begin(), fin.end(),
-            [](const Finish& a, const Finish& b) { return a.at < b.at; });
-
+  SOC_CHECK(step % kGranularity == 0);
   std::vector<SeriesSample> out;
-  std::size_t gi = 0, fi = 0, ci = 0;
-  std::vector<double> eff;
   for (SimTime t = step; t <= horizon; t += step) {
-    while (gi < gen.size() && gen[gi] <= t) ++gi;
-    while (fi < fail.size() && fail[fi] <= t) ++fi;
-    while (ci < fin.size() && fin[ci].at <= t) {
-      eff.push_back(fin[ci].efficiency);
-      ++ci;
-    }
+    const auto bucket = static_cast<std::uint64_t>(t / kGranularity);
+    const Stream::State& g = generated_.at_bucket(bucket);
+    const Stream::State& f = failed_.at_bucket(bucket);
+    const Stream::State& c = finished_.at_bucket(bucket);
     SeriesSample s;
     s.hour = to_hours(t);
-    s.generated = gi;
-    s.finished = ci;
-    s.failed = fi;
-    if (gi > 0) {
-      s.t_ratio = static_cast<double>(ci) / static_cast<double>(gi);
-      s.f_ratio = static_cast<double>(fi) / static_cast<double>(gi);
+    s.generated = g.count;
+    s.finished = c.count;
+    s.failed = f.count;
+    if (g.count > 0) {
+      s.t_ratio =
+          static_cast<double>(c.count) / static_cast<double>(g.count);
+      s.f_ratio =
+          static_cast<double>(f.count) / static_cast<double>(g.count);
     }
-    s.fairness = jain_fairness(eff);
+    s.fairness = jain_from_moments(c.count, c.sum, c.sum_sq);
     out.push_back(s);
   }
   return out;

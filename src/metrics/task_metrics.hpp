@@ -2,6 +2,14 @@
 // ratio F-Ratio(t), and Jain's fairness index over finished tasks'
 // execution efficiencies — all as cumulative hourly time series, exactly
 // the curves of Figs. 4–8.
+//
+// Storage is O(horizon / 60 s), not O(events): each event stream folds
+// into a cumulative (count, Σe, Σe²) state and takes a run-length
+// compressed snapshot of that state the first time an event lands past a
+// 60 s bucket boundary, so series() replays any sample grid whose step is
+// a multiple of 60 s bit-identically to the old keep-every-timestamp
+// implementation (the Jain accumulation order is the arrival order, which
+// is what sorting the flat vectors produced).
 #pragma once
 
 #include <cstdint>
@@ -24,33 +32,57 @@ struct SeriesSample {
 
 class TaskMetrics {
  public:
+  /// Snapshot granularity: series() steps must be multiples of this (the
+  /// harness uses 600 s and 3600 s grids; both divide evenly).
+  static constexpr SimTime kGranularity = seconds(60);
+
   void on_generated(SimTime at);
   /// The task could not find (or keep) any qualified node.
   void on_failed(SimTime at);
   /// The task finished; `efficiency` is e_ij = expected/actual time.
   void on_finished(SimTime at, double efficiency);
 
-  [[nodiscard]] std::uint64_t generated() const { return generated_.size(); }
-  [[nodiscard]] std::uint64_t finished() const { return finished_.size(); }
-  [[nodiscard]] std::uint64_t failed() const { return failed_.size(); }
+  [[nodiscard]] std::uint64_t generated() const { return generated_.cur.count; }
+  [[nodiscard]] std::uint64_t finished() const { return finished_.cur.count; }
+  [[nodiscard]] std::uint64_t failed() const { return failed_.cur.count; }
 
   [[nodiscard]] double t_ratio() const;
   [[nodiscard]] double f_ratio() const;
   [[nodiscard]] double fairness() const;
 
   /// Cumulative samples at `step` intervals from `step` to `horizon`
-  /// inclusive (the paper plots 24 hourly points over one day).
+  /// inclusive (the paper plots 24 hourly points over one day).  `step`
+  /// must be positive and a multiple of kGranularity.
   [[nodiscard]] std::vector<SeriesSample> series(SimTime horizon,
                                                  SimTime step) const;
 
  private:
-  struct Finish {
-    SimTime at;
-    double efficiency;
+  /// One event stream, fed in nondecreasing time order (the simulator's
+  /// natural order; enforced at bucket resolution).  `sum`/`sum_sq` carry
+  /// the finished stream's efficiency moments and stay 0 elsewhere.
+  struct Stream {
+    struct State {
+      std::uint64_t count = 0;
+      double sum = 0.0;
+      double sum_sq = 0.0;
+    };
+    struct Snap {
+      std::uint64_t through_bucket;  ///< state is final for buckets <= this
+      State state;
+    };
+
+    void add(SimTime at, double value);
+    /// Cumulative state including every event with at <= bucket * 60 s.
+    [[nodiscard]] const State& at_bucket(std::uint64_t bucket) const;
+
+    State cur;
+    std::vector<Snap> snaps;      // through_bucket strictly increasing
+    std::uint64_t closed = 0;     // buckets <= closed are snapshot-final
   };
-  std::vector<SimTime> generated_;
-  std::vector<SimTime> failed_;
-  std::vector<Finish> finished_;
+
+  Stream generated_;
+  Stream failed_;
+  Stream finished_;
 };
 
 }  // namespace soc::metrics

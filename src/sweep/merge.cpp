@@ -62,6 +62,7 @@ std::optional<MergedReport> merge_shards(const std::string& dir,
     s.group = order[g];
     s.repeats = buckets[g].size();
     RunningStats t, f, fair, mpn, delay;
+    RunningStats p99_first, p99_finish;
     std::vector<double> ts, fs;
     for (const CellResult* c : buckets[g]) {
       t.add(c->t_ratio);
@@ -81,6 +82,16 @@ std::optional<MergedReport> merge_shards(const std::string& dir,
       s.stale_misplaced += c->stale_misplaced;
       s.slot_span_ratio_max = std::max(s.slot_span_ratio_max,
                                        c->slot_span_ratio);
+      s.latency_first_result.merge(c->latency_first_result);
+      s.latency_finish.merge(c->latency_finish);
+      // The CI is over per-repeat tail estimates; a repeat with no queries
+      // has no tail to estimate and contributes nothing.
+      if (c->latency_first_result.total() > 0) {
+        p99_first.add(c->latency_first_result.percentile_s(99.0));
+      }
+      if (c->latency_finish.total() > 0) {
+        p99_finish.add(c->latency_finish.percentile_s(99.0));
+      }
     }
     s.t_ratio_mean = t.mean();
     s.t_ratio_median = median(ts);
@@ -92,6 +103,10 @@ std::optional<MergedReport> merge_shards(const std::string& dir,
     s.fairness_ci95 = mean_ci95_halfwidth(fair.count(), fair.stddev());
     s.msgs_per_node_mean = mpn.mean();
     s.avg_query_delay_s_mean = delay.mean();
+    s.latency_first_p99_ci95 =
+        mean_ci95_halfwidth(p99_first.count(), p99_first.stddev());
+    s.latency_finish_p99_ci95 =
+        mean_ci95_halfwidth(p99_finish.count(), p99_finish.stddev());
     // Fold the repeats' hour-by-hour series index-by-index.  Repeats of a
     // group share a sampling cadence (same config except seed), but a
     // repeat's series can still be shorter; a missing sample reduces that
@@ -163,8 +178,7 @@ bool write_merged_report(const std::string& path, const SweepSpec& spec,
         "      \"generated\": %llu, \"finished\": %llu, \"failed\": %llu,\n"
         "      \"messages_partitioned\": %llu,\n"
         "      \"stale_dead_provider\": %llu, \"stale_misplaced\": %llu,\n"
-        "      \"slot_span_ratio\": %.9g,\n"
-        "      \"series\": [",
+        "      \"slot_span_ratio\": %.9g,\n",
         i > 0 ? "," : "", json_mini::escape(s.group).c_str(),
         static_cast<unsigned long long>(s.events),
         static_cast<unsigned long long>(s.messages), s.repeats, s.t_ratio_mean,
@@ -178,6 +192,29 @@ bool write_merged_report(const std::string& path, const SweepSpec& spec,
         static_cast<unsigned long long>(s.stale_misplaced),
         s.slot_span_ratio_max);
     out += buf;
+    // Per-group tail latency, bench-schema-shaped ("latency" sub-object as
+    // in BENCH_*.json) plus the cross-repeat p99 CI.  compare_core's
+    // bounded exact-key parser skips unknown keys, so older tooling reads
+    // this report unchanged.
+    const auto latency_json = [&buf](const char* key,
+                                     const metrics::LatencyHistogram& h,
+                                     double p99_ci, const char* trailer) {
+      std::snprintf(buf, sizeof(buf),
+                    "\"%s\": { \"n\": %llu, \"mean_s\": %.9g, "
+                    "\"p50_s\": %.9g, \"p95_s\": %.9g, \"p99_s\": %.9g, "
+                    "\"p999_s\": %.9g, \"p99_ci95\": %.9g }%s",
+                    key, static_cast<unsigned long long>(h.total()),
+                    h.mean_s(), h.percentile_s(50.0), h.percentile_s(95.0),
+                    h.percentile_s(99.0), h.percentile_s(99.9), p99_ci,
+                    trailer);
+      return buf;
+    };
+    out += "      \"latency\": { ";
+    out += latency_json("first_result", s.latency_first_result,
+                        s.latency_first_p99_ci95, ", ");
+    out += latency_json("finish", s.latency_finish, s.latency_finish_p99_ci95,
+                        " },\n");
+    out += "      \"series\": [";
     // Figure curve, after every scalar: the bounded first-match parsers
     // (merge round-trip, compare_core) must hit the scalar first when a
     // key name recurs inside the samples.
@@ -311,6 +348,31 @@ void print_merged_table(const MergedReport& report) {
                 s.msgs_per_node_mean,
                 static_cast<unsigned long long>(s.stale_dead_provider +
                                                 s.stale_misplaced));
+  }
+  bool any_latency = false;
+  for (const GroupStats& s : report.groups) {
+    if (s.latency_first_result.total() > 0 || s.latency_finish.total() > 0) {
+      any_latency = true;
+      break;
+    }
+  }
+  if (!any_latency) return;
+  std::printf("\n## per-query latency, seconds "
+              "(first = submit to first qualified result; "
+              "finish = submit to completion)\n");
+  std::printf("%-34s %9s %8s %8s %8s %10s %8s %8s\n", "config", "queries",
+              "fst p50", "fst p99", "±p99CI", "fin p50", "fin p99",
+              "fin p999");
+  for (const GroupStats& s : report.groups) {
+    std::printf("%-34s %9llu %8.3f %8.3f %8.3f %10.3f %8.3f %8.3f\n",
+                s.group.c_str(),
+                static_cast<unsigned long long>(s.latency_first_result.total()),
+                s.latency_first_result.percentile_s(50.0),
+                s.latency_first_result.percentile_s(99.0),
+                s.latency_first_p99_ci95,
+                s.latency_finish.percentile_s(50.0),
+                s.latency_finish.percentile_s(99.0),
+                s.latency_finish.percentile_s(99.9));
   }
 }
 

@@ -54,6 +54,16 @@ struct GroupStats {
   /// Worst per-node map density across repeats (max, not mean: one
   /// degenerate run is exactly what the metric exists to surface).
   double slot_span_ratio_max = 1.0;
+  /// Per-query latency, folded bucket-wise across the group's repeats.
+  /// Bucket counts are exact integer sums, so the fold is associative and
+  /// commutative — the merged histogram (and every percentile read off it)
+  /// is identical no matter how the cells were sharded or ordered.
+  metrics::LatencyHistogram latency_first_result;
+  metrics::LatencyHistogram latency_finish;
+  /// 95% CI half-width of the per-repeat p99 (tail spread across seeds;
+  /// 0 with a single repeat, and 0 when no repeat recorded a query).
+  double latency_first_p99_ci95 = 0.0;
+  double latency_finish_p99_ci95 = 0.0;
   /// Hour-by-hour curve (the figure shape), indexed by sample position.
   std::vector<GroupSeriesPoint> series;
 };

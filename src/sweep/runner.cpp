@@ -49,6 +49,8 @@ ShardResult run_shard(const Shard& shard, std::uint64_t spec_fingerprint,
     out.slot_span_ratio = r.slot_span_ratio;
     out.wall_seconds = dt.count();
     out.series = r.series;
+    out.latency_first_result = r.latency_first_result;
+    out.latency_finish = r.latency_finish;
     result.cells.push_back(std::move(out));
   }
   return result;
@@ -86,8 +88,7 @@ bool write_shard_result(const std::string& dir, const ShardResult& result) {
         "      \"delivered\": %llu, \"lost\": %llu, \"partitioned\": %llu,\n"
         "      \"stale_dead_provider\": %llu, \"stale_misplaced\": %llu,\n"
         "      \"slot_span_ratio\": %.17g,\n"
-        "      \"wall_seconds\": %.6f,\n"
-        "      \"series\": [",
+        "      \"wall_seconds\": %.6f,\n",
         i > 0 ? "," : "", json_mini::escape(c.key).c_str(),
         json_mini::escape(c.group).c_str(),
         static_cast<unsigned long long>(c.seed), c.t_ratio, c.f_ratio,
@@ -105,6 +106,15 @@ bool write_shard_result(const std::string& dir, const ShardResult& result) {
         c.wall_seconds);
     if (n < 0 || static_cast<std::size_t>(n) >= sizeof(buf)) return false;
     out += buf;
+    // The sparse-encoded latency histograms are appended as std::string
+    // concatenations, not through the fixed snprintf buffer: a dense
+    // histogram string can exceed any reasonable stack buffer, and a torn
+    // cell line must never reach disk.  Their alphabet (digits ; : ,)
+    // needs no JSON escaping.
+    out += "      \"lat_first_b\": \"" + c.latency_first_result.encode() +
+           "\",\n";
+    out += "      \"lat_finish_b\": \"" + c.latency_finish.encode() + "\",\n";
+    out += "      \"series\": [";
     // The hour-by-hour samples go AFTER every scalar field: the bounded
     // first-match parser shares key names between the two ("generated",
     // "t_ratio", …), so within a cell block the scalar must come first.
@@ -187,6 +197,19 @@ std::optional<ShardResult> read_shard_result(const std::string& path) {
     c.stale_misplaced = u64("stale_misplaced");
     c.slot_span_ratio = num("slot_span_ratio").value_or(1.0);
     c.wall_seconds = num("wall_seconds").value_or(0.0);
+    // Latency histograms: absent in pre-serving shard files (empty
+    // histograms), and a malformed encoding invalidates the whole file —
+    // a silently-dropped histogram would merge wrong percentiles.
+    const auto lat_first = find_string(*text, "lat_first_b", pos, block_end);
+    const auto lat_finish = find_string(*text, "lat_finish_b", pos, block_end);
+    if (lat_first.has_value() &&
+        !c.latency_first_result.merge_encoded(*lat_first)) {
+      return std::nullopt;
+    }
+    if (lat_finish.has_value() &&
+        !c.latency_finish.merge_encoded(*lat_finish)) {
+      return std::nullopt;
+    }
     // Hour-by-hour samples, delimited by their "hour" key (absent from the
     // scalar block, and series samples carry no "key", so the cell block
     // bound above still holds).  Absent in pre-series shard files.

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "src/metrics/latency_histogram.hpp"
 #include "src/metrics/task_metrics.hpp"
 #include "src/sweep/shard.hpp"
 
@@ -49,6 +50,13 @@ struct CellResult {
   /// through the shard files so the merged report can render Figs. 4–8
   /// without re-running anything.
   std::vector<metrics::SeriesSample> series;
+  /// Per-query latency histograms (submit→first qualified result,
+  /// submit→finish), carried through shard files in the sparse
+  /// LatencyHistogram::encode() form so the merger can fold repeats
+  /// bucket-wise (exact integer sums — merge order never matters).
+  /// Absent in pre-serving shard files; parsed as empty.
+  metrics::LatencyHistogram latency_first_result;
+  metrics::LatencyHistogram latency_finish;
 };
 
 struct ShardResult {

@@ -7,6 +7,7 @@
 #include <functional>
 
 #include "src/common/assert.hpp"
+#include "src/workload/serving.hpp"
 
 namespace soc::sweep {
 
@@ -117,6 +118,14 @@ std::optional<SweepSpec> SweepSpec::from_args(const CliArgs& args,
       return std::nullopt;
     }
   }
+  spec.servings = args.get_list("servings", join_strings(defaults.servings));
+  for (const std::string& s : spec.servings) {
+    if (!workload::serving_by_name(s).has_value()) {
+      std::fprintf(stderr, "sweep: unknown serving preset '%s' (expected %s)\n",
+                   s.c_str(), workload::serving_names_help().c_str());
+      return std::nullopt;
+    }
+  }
   spec.repeats = static_cast<std::size_t>(
       args.get_int("repeats", static_cast<std::int64_t>(defaults.repeats)));
   spec.base_seed = static_cast<std::uint64_t>(args.get_int(
@@ -124,7 +133,8 @@ std::optional<SweepSpec> SweepSpec::from_args(const CliArgs& args,
   spec.hours = args.get_double("hours", defaults.hours);
   if (spec.protocols.empty() || spec.lambdas.empty() ||
       spec.node_counts.empty() || spec.scenarios.empty() ||
-      spec.churns.empty() || spec.variants.empty() || spec.repeats == 0) {
+      spec.churns.empty() || spec.variants.empty() || spec.servings.empty() ||
+      spec.repeats == 0) {
     std::fprintf(stderr, "sweep: every grid axis needs at least one value\n");
     return std::nullopt;
   }
@@ -140,6 +150,7 @@ std::vector<std::string> SweepSpec::to_args() const {
       "--scenarios=" + join_strings(n.scenarios),
       "--churns=" + join_doubles(n.churns),
       "--variants=" + join_strings(n.variants),
+      "--servings=" + join_strings(n.servings),
       fmt("--repeats=%zu", n.repeats),
       fmt("--base-seed=%llu", static_cast<unsigned long long>(n.base_seed)),
       fmt("--hours=%.6g", n.hours),
@@ -163,6 +174,7 @@ SweepSpec SweepSpec::normalized() const {
   dedup_sort(n.scenarios);
   dedup_sort(n.churns);
   dedup_sort(n.variants);
+  dedup_sort(n.servings);
   return n;
 }
 
@@ -192,6 +204,14 @@ std::string SweepSpec::describe() const {
   for (std::size_t i = 0; i < n.variants.size(); ++i) {
     out += (i ? "," : "") + n.variants[i];
   }
+  // The plain-"off" default is elided so pre-serving specs keep their
+  // describe() string — and hence their fingerprint and cell keys.
+  if (n.servings != std::vector<std::string>{"off"}) {
+    out += "] sv=[";
+    for (std::size_t i = 0; i < n.servings.size(); ++i) {
+      out += (i ? "," : "") + n.servings[i];
+    }
+  }
   out += fmt("] r=%zu seed=%llu h=%.6g}", n.repeats,
              static_cast<unsigned long long>(n.base_seed), n.hours);
   return out;
@@ -209,34 +229,42 @@ std::vector<SweepCell> SweepSpec::enumerate() const {
         for (const std::string& sc : n.scenarios) {
           for (const double churn : n.churns) {
             for (const std::string& variant : n.variants) {
-              const std::string group = fmt(
-                  "%s/l%.6g/n%zu/%s/c%.6g/%s",
-                  core::protocol_name(proto).c_str(), lambda, nodes,
-                  sc.c_str(), churn, variant.c_str());
-              for (std::size_t r = 0; r < n.repeats; ++r) {
-                SweepCell cell;
-                cell.group = group;
-                cell.key = fmt("%s/r%zu", group.c_str(), r);
+              for (const std::string& sv : n.servings) {
+                // Keys keep their pre-serving shape for "off" cells so
+                // existing shard artifacts and pinned seeds stay valid.
+                std::string group = fmt(
+                    "%s/l%.6g/n%zu/%s/c%.6g/%s",
+                    core::protocol_name(proto).c_str(), lambda, nodes,
+                    sc.c_str(), churn, variant.c_str());
+                if (sv != "off") group += "/" + sv;
+                for (std::size_t r = 0; r < n.repeats; ++r) {
+                  SweepCell cell;
+                  cell.group = group;
+                  cell.key = fmt("%s/r%zu", group.c_str(), r);
 
-                core::ExperimentConfig c;
-                c.protocol = proto;
-                c.nodes = nodes;
-                c.demand_ratio = lambda;
-                c.duration = seconds(n.hours * 3600.0);
-                c.sample_step = seconds(3600);
-                c.churn_dynamic_degree = churn;
-                SOC_CHECK_MSG(apply_variant(variant, c), "unknown variant");
-                // Content-derived seed: identical for this cell no matter
-                // which process (or how many) runs the sweep.  Guard
-                // against 0 — some RNG seedings treat it specially.
-                const std::uint64_t seed =
-                    mix64(n.base_seed ^ fnv1a(cell.key));
-                c.seed = seed != 0 ? seed : 0x5eed5eed5eed5eedull;
-                const auto scenario = scenario_by_name(sc, c.duration, nodes);
-                SOC_CHECK_MSG(scenario.has_value(), "unknown scenario preset");
-                c.scenario = *scenario;
-                cell.config = std::move(c);
-                cells.push_back(std::move(cell));
+                  core::ExperimentConfig c;
+                  c.protocol = proto;
+                  c.nodes = nodes;
+                  c.demand_ratio = lambda;
+                  c.duration = seconds(n.hours * 3600.0);
+                  c.sample_step = seconds(3600);
+                  c.churn_dynamic_degree = churn;
+                  SOC_CHECK_MSG(apply_variant(variant, c), "unknown variant");
+                  const auto serving = workload::serving_by_name(sv);
+                  SOC_CHECK_MSG(serving.has_value(), "unknown serving preset");
+                  c.serving = *serving;
+                  // Content-derived seed: identical for this cell no matter
+                  // which process (or how many) runs the sweep.  Guard
+                  // against 0 — some RNG seedings treat it specially.
+                  const std::uint64_t seed =
+                      mix64(n.base_seed ^ fnv1a(cell.key));
+                  c.seed = seed != 0 ? seed : 0x5eed5eed5eed5eedull;
+                  const auto scenario = scenario_by_name(sc, c.duration, nodes);
+                  SOC_CHECK_MSG(scenario.has_value(), "unknown scenario preset");
+                  c.scenario = *scenario;
+                  cell.config = std::move(c);
+                  cells.push_back(std::move(cell));
+                }
               }
             }
           }
@@ -368,6 +396,14 @@ const std::vector<SweepPreset>& sweep_presets() {
         [](SweepSpec& s) {
           s.churns = {0.5, 0.95};
           s.variants = {"detached", "tasks-lost", "checkpoint"};
+        });
+    add("serving",
+        "serving workloads: open vs closed loop, hot-key skew, tail latency",
+        false, [](SweepSpec& s) {
+          s.protocols = {ProtocolKind::kHidCan, ProtocolKind::kNewscast,
+                         ProtocolKind::kKhdnCan};
+          s.lambdas = {0.25, 1.0};
+          s.servings = {"open", "zipf", "closed", "closed+zipf"};
         });
     add("ablation-spreading",
         "A5: SID spreading-scope readings vs HID at two demand ratios",

@@ -54,12 +54,19 @@ struct SweepSpec {
   /// scenarios, names keep cells addressable from a worker command line;
   /// the ablation grids are spanned by this axis.
   std::vector<std::string> variants{"base"};
+  /// Serving-workload axis, by preset name ("off"/"open", "closed",
+  /// "zipf", "diurnal", '+'-composed — see workload::serving_by_name).
+  /// The "off" default keeps cell keys and the spec fingerprint identical
+  /// to pre-serving sweeps (no suffix, no sv=[] in describe()), so old
+  /// manifests and shard files stay resumable.
+  std::vector<std::string> servings{"off"};
   std::size_t repeats = 1;       ///< seeds per grid cell
   std::uint64_t base_seed = 1;   ///< mixed into every cell seed
   double hours = 6.0;            ///< simulated duration per experiment
 
   /// Parse from CLI flags (--protocols, --lambdas, --node-counts,
-  /// --scenarios, --churns, --variants, --repeats, --base-seed, --hours).
+  /// --scenarios, --churns, --variants, --servings, --repeats, --base-seed,
+  /// --hours).
   /// Unknown protocol/scenario/variant names return nullopt and print to
   /// stderr.  Flags absent from the command line fall back to `defaults` —
   /// how `--preset` grids stay overridable by explicit flags.
@@ -93,7 +100,8 @@ struct SweepSpec {
 
   [[nodiscard]] std::size_t cell_count() const {
     return protocols.size() * lambdas.size() * node_counts.size() *
-           scenarios.size() * churns.size() * variants.size() * repeats;
+           scenarios.size() * churns.size() * variants.size() *
+           servings.size() * repeats;
   }
 };
 

@@ -137,5 +137,46 @@ TEST(CompareCore, ParserRoundTripsTheEmittedSchema) {
   EXPECT_FALSE(err2.empty());
 }
 
+TEST(CompareCore, LatencyBlockCannotShadowScalarFields) {
+  // The serving-PR schema nests a "latency" object (with its own "n",
+  // "mean_s", "p50_s", ...) between the scalars and "traffic".  The
+  // bounded exact-key parser must keep reading the experiment's scalars —
+  // none of the latency keys may shadow "events", "messages", or the
+  // rates, in ANY ordering of the block relative to them.  Hostile
+  // ordering on purpose: latency comes FIRST here, unlike the writer.
+  const std::string text = R"({
+  "bench": "sweep",
+  "nodes": 0,
+  "hours": 6.000,
+  "seed": 1,
+  "experiments": [
+    { "name": "HID-CAN/l0.5/n24/none/c0/base/closed",
+      "latency": { "first_result": { "n": 17, "mean_s": 2.5, "p50_s": 0.007,
+                                     "p95_s": 9.1, "p99_s": 41.0,
+                                     "p999_s": 41.0, "p99_ci95": 0.5 },
+                   "finish": { "n": 12, "mean_s": 150.1, "p50_s": 151.0,
+                               "p95_s": 218.0, "p99_s": 218.1,
+                               "p999_s": 218.1 } },
+      "wall_seconds": 0,
+      "events": 5000, "events_per_sec": 0,
+      "messages": 2500, "messages_per_sec": 0,
+      "slot_span_ratio": 1.25 },
+    { "name": "HID-CAN/l0.5/n24/none/c0/base/open", "wall_seconds": 0,
+      "events": 4000, "events_per_sec": 0,
+      "messages": 2000, "messages_per_sec": 0 }
+  ]
+})";
+  std::string err;
+  const auto r = parse_report_text(text, &err);
+  ASSERT_TRUE(r.has_value()) << err;
+  ASSERT_EQ(r->experiments.size(), 2u);
+  EXPECT_DOUBLE_EQ(r->experiments[0].events, 5000);
+  EXPECT_DOUBLE_EQ(r->experiments[0].messages, 2500);
+  EXPECT_DOUBLE_EQ(r->experiments[0].slot_span_ratio, 1.25);
+  // The second experiment (no latency block) is bounded correctly.
+  EXPECT_DOUBLE_EQ(r->experiments[1].events, 4000);
+  EXPECT_DOUBLE_EQ(r->experiments[1].slot_span_ratio, 1.0);
+}
+
 }  // namespace
 }  // namespace soc::bench

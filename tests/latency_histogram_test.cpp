@@ -1,0 +1,216 @@
+// LatencyHistogram invariants (src/metrics/latency_histogram.hpp): the
+// fixed bucket layout, merge associativity/commutativity (the property
+// that makes sharded percentiles exact), percentile edge cases, and the
+// sparse text encoding the shard files carry.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "src/metrics/latency_histogram.hpp"
+
+namespace soc::metrics {
+namespace {
+
+constexpr std::uint64_t kU64Max = std::numeric_limits<std::uint64_t>::max();
+
+TEST(LatencyHistogram, BucketLayoutIsExactBelow32us) {
+  for (std::uint64_t us = 0; us < 32; ++us) {
+    const std::size_t b = LatencyHistogram::bucket_index(us);
+    EXPECT_EQ(b, us);
+    EXPECT_EQ(LatencyHistogram::bucket_lo_us(b), us);
+    EXPECT_EQ(LatencyHistogram::bucket_hi_us(b), us + 1);
+  }
+}
+
+TEST(LatencyHistogram, BucketEdgesAreConsistentAcrossTheWholeRange) {
+  // Every bucket's lo maps back to its own index, hi-1 stays inside, and
+  // hi lands in the next bucket — including across the 32 µs boundary
+  // where the layout switches from unit buckets to 16-way octaves.
+  for (std::size_t b = 0; b + 1 < LatencyHistogram::kBucketCount; ++b) {
+    const std::uint64_t lo = LatencyHistogram::bucket_lo_us(b);
+    const std::uint64_t hi = LatencyHistogram::bucket_hi_us(b);
+    ASSERT_LT(lo, hi);
+    EXPECT_EQ(LatencyHistogram::bucket_index(lo), b);
+    EXPECT_EQ(LatencyHistogram::bucket_index(hi - 1), b);
+    EXPECT_EQ(LatencyHistogram::bucket_index(hi), b + 1);
+  }
+  // The last bucket absorbs everything up to uint64 max (the overflow
+  // bucket of the acceptance checklist).
+  const std::size_t last = LatencyHistogram::kBucketCount - 1;
+  EXPECT_EQ(LatencyHistogram::bucket_index(kU64Max), last);
+  EXPECT_EQ(LatencyHistogram::bucket_hi_us(last), kU64Max);
+}
+
+TEST(LatencyHistogram, PercentileEdgeCases) {
+  LatencyHistogram h;
+  // Empty: every percentile reports 0.
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.percentile_s(0.0), 0.0);
+  EXPECT_EQ(h.percentile_s(50.0), 0.0);
+  EXPECT_EQ(h.percentile_s(100.0), 0.0);
+  EXPECT_EQ(h.mean_s(), 0.0);
+
+  // Single sample: every percentile is that sample's bucket.
+  h.record_us(10);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_DOUBLE_EQ(h.percentile_s(0.0), 10e-6);  // rank clamps up to 1
+  EXPECT_DOUBLE_EQ(h.percentile_s(50.0), 10e-6);
+  EXPECT_DOUBLE_EQ(h.percentile_s(99.9), 10e-6);
+  EXPECT_DOUBLE_EQ(h.mean_s(), 10e-6);
+
+  // All samples in one bucket: p50 == p999.
+  LatencyHistogram one;
+  for (int i = 0; i < 1000; ++i) one.record_us(7);
+  EXPECT_DOUBLE_EQ(one.percentile_s(50.0), one.percentile_s(99.9));
+  EXPECT_DOUBLE_EQ(one.percentile_s(50.0), 7e-6);
+
+  // A sample in the overflow bucket is reported from there, not dropped.
+  LatencyHistogram over;
+  over.record_us(kU64Max);
+  EXPECT_EQ(over.count(LatencyHistogram::kBucketCount - 1), 1u);
+  EXPECT_DOUBLE_EQ(over.percentile_s(50.0),
+                   static_cast<double>(kU64Max - 1) * 1e-6);
+}
+
+TEST(LatencyHistogram, PercentilesMatchSortedOracleAtBucketResolution) {
+  std::mt19937_64 prng(42);
+  std::vector<std::uint64_t> samples;
+  LatencyHistogram h;
+  for (int i = 0; i < 5000; ++i) {
+    // Log-uniform over ~9 decades, the regime the octave layout targets.
+    const double e = std::uniform_real_distribution<double>(0.0, 9.0)(prng);
+    const auto us = static_cast<std::uint64_t>(std::pow(10.0, e));
+    samples.push_back(us);
+    h.record_us(us);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (const double p : {50.0, 95.0, 99.0, 99.9}) {
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(samples.size())));
+    const std::uint64_t exact = samples[rank - 1];
+    // The histogram reports the top of the sample's bucket.
+    const std::size_t b = LatencyHistogram::bucket_index(exact);
+    EXPECT_DOUBLE_EQ(h.percentile_s(p),
+                     static_cast<double>(LatencyHistogram::bucket_hi_us(b) - 1)
+                         * 1e-6)
+        << "p" << p;
+  }
+}
+
+/// Record `n` deterministic pseudo-random samples into `h` (and optionally
+/// a reference vector), seeded per-shard.
+void fill(LatencyHistogram& h, std::uint64_t seed, int n) {
+  std::mt19937_64 prng(seed);
+  for (int i = 0; i < n; ++i) {
+    const double e = std::uniform_real_distribution<double>(0.0, 8.0)(prng);
+    h.record_us(static_cast<std::uint64_t>(std::pow(10.0, e)));
+  }
+}
+
+TEST(LatencyHistogram, MergeIsAssociativeAndCommutative) {
+  LatencyHistogram a, b, c;
+  fill(a, 1, 1000);
+  fill(b, 2, 700);
+  fill(c, 3, 1300);
+
+  // (a+b)+c
+  LatencyHistogram ab = a;
+  ab.merge(b);
+  LatencyHistogram ab_c = ab;
+  ab_c.merge(c);
+  // a+(b+c)
+  LatencyHistogram bc = b;
+  bc.merge(c);
+  LatencyHistogram a_bc = a;
+  a_bc.merge(bc);
+  // c+b+a
+  LatencyHistogram cba = c;
+  cba.merge(b);
+  cba.merge(a);
+
+  EXPECT_EQ(ab_c.total(), a_bc.total());
+  EXPECT_EQ(ab_c.sum_us(), a_bc.sum_us());
+  EXPECT_EQ(cba.total(), a_bc.total());
+  EXPECT_EQ(cba.sum_us(), a_bc.sum_us());
+  for (std::size_t i = 0; i < LatencyHistogram::kBucketCount; ++i) {
+    ASSERT_EQ(ab_c.count(i), a_bc.count(i)) << "bucket " << i;
+    ASSERT_EQ(cba.count(i), a_bc.count(i)) << "bucket " << i;
+  }
+  // Hence identical percentiles — the sharded-merge exactness claim.
+  for (const double p : {50.0, 99.0, 99.9}) {
+    EXPECT_EQ(ab_c.percentile_s(p), cba.percentile_s(p));
+  }
+}
+
+TEST(LatencyHistogram, NWayShardMergeEqualsSingleHistogram) {
+  // One stream of samples split across 7 "workers" in round-robin, merged
+  // in a scrambled order, must equal recording everything into one
+  // histogram — the --mode=merge vs --mode=local equivalence in miniature.
+  constexpr int kWorkers = 7;
+  LatencyHistogram whole;
+  LatencyHistogram shard[kWorkers];
+  std::mt19937_64 prng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const auto us = static_cast<std::uint64_t>(
+        std::uniform_int_distribution<std::uint64_t>(0, 50'000'000)(prng));
+    whole.record_us(us);
+    shard[i % kWorkers].record_us(us);
+  }
+  LatencyHistogram merged;
+  for (const int w : {3, 0, 6, 1, 5, 2, 4}) merged.merge(shard[w]);
+  EXPECT_EQ(merged.total(), whole.total());
+  EXPECT_EQ(merged.sum_us(), whole.sum_us());
+  for (std::size_t i = 0; i < LatencyHistogram::kBucketCount; ++i) {
+    ASSERT_EQ(merged.count(i), whole.count(i)) << "bucket " << i;
+  }
+  EXPECT_EQ(merged.percentile_s(99.9), whole.percentile_s(99.9));
+}
+
+TEST(LatencyHistogram, EncodeRoundTripsExactly) {
+  LatencyHistogram h;
+  fill(h, 7, 2500);
+  h.record_us(0);
+  h.record_us(kU64Max);
+
+  LatencyHistogram back;
+  ASSERT_TRUE(back.merge_encoded(h.encode()));
+  EXPECT_EQ(back.total(), h.total());
+  EXPECT_EQ(back.sum_us(), h.sum_us());
+  for (std::size_t i = 0; i < LatencyHistogram::kBucketCount; ++i) {
+    ASSERT_EQ(back.count(i), h.count(i)) << "bucket " << i;
+  }
+
+  // Empty encodes to "" and folds as a no-op.
+  LatencyHistogram empty;
+  EXPECT_EQ(empty.encode(), "");
+  ASSERT_TRUE(back.merge_encoded(""));
+  EXPECT_EQ(back.total(), h.total());
+}
+
+TEST(LatencyHistogram, MalformedEncodingsAreRejectedWithoutMutation) {
+  LatencyHistogram h;
+  h.record_us(5);
+  const std::uint64_t before_total = h.total();
+  const std::uint64_t before_sum = h.sum_us();
+  for (const char* bad : {
+           "12",            // no ';' separator
+           "10;",           // sum with no buckets
+           ";1:2",          // missing sum
+           "10;1",          // bucket without count
+           "10;1:",         // dangling ':'
+           "10;999999:1",   // bucket index out of range
+           "10;1:2,",       // trailing ','
+           "10;a:2",        // non-numeric
+           "10;1:2;3:4",    // second ';'
+       }) {
+    EXPECT_FALSE(h.merge_encoded(bad)) << bad;
+    EXPECT_EQ(h.total(), before_total) << bad << " mutated on failure";
+    EXPECT_EQ(h.sum_us(), before_sum) << bad;
+  }
+}
+
+}  // namespace
+}  // namespace soc::metrics

@@ -187,7 +187,50 @@ TEST(RecordStoreOracle, RandomOpChurnMatchesMapOracle) {
       expect_same_set(store.all_live(now), oracle.all_live(now),
                       /*expect_sorted=*/true, "all_live", step);
     }
+    // Structural invariants of the slab layout: sorted unique keys, every
+    // slot in-range and owned exactly once, free-list consistent.
+    if (step % 100 == 0) {
+      ASSERT_TRUE(store.verify_sorted_unique())
+          << "slab invariants broken at step " << step;
+    }
   }
+  EXPECT_TRUE(store.verify_sorted_unique());
+}
+
+TEST(RecordStoreOracle, SlotReuseChurnKeepsSlabConsistent) {
+  // Heavy erase/re-put cycling over a small provider set forces the slab
+  // free-list through constant reuse — the regime where a stale slot index
+  // (the classic compaction bug) would alias two providers' records.
+  RecordStore store;
+  Rng rng(31337);
+  SimTime now = 0;
+  constexpr std::uint32_t kProviders = 8;
+  for (int round = 0; round < 400; ++round) {
+    now += seconds(1.0);
+    const auto p =
+        static_cast<std::uint32_t>(rng.uniform_int(0, kProviders - 1));
+    if (rng.uniform() < 0.5) {
+      store.put(random_record(p, rng, now));
+    } else {
+      store.erase(NodeId(p));
+    }
+    ASSERT_TRUE(store.verify_sorted_unique()) << "round " << round;
+    ASSERT_LE(store.size(), static_cast<std::size_t>(kProviders));
+    // Each surviving provider resolves to exactly its own record.
+    for (const Record& r : store.all_live(now + seconds(1000.0))) {
+      ASSERT_LT(r.provider.value, kProviders);
+    }
+  }
+  // Drain and rebuild: the free-list absorbs the whole slab and hands the
+  // slots back.
+  store.extract_all();
+  ASSERT_TRUE(store.verify_sorted_unique());
+  EXPECT_EQ(store.size(), 0u);
+  for (std::uint32_t p = 0; p < kProviders; ++p) {
+    store.put(random_record(p, rng, now));
+  }
+  EXPECT_EQ(store.size(), static_cast<std::size_t>(kProviders));
+  EXPECT_TRUE(store.verify_sorted_unique());
 }
 
 TEST(RecordStoreOracle, QualifiedIntoReusesScratchAndMatchesQualified) {

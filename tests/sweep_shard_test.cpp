@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <map>
 #include <set>
@@ -503,6 +504,183 @@ TEST(SweepMerge, MergedGroupSeriesFromRealRun) {
   const auto text = read_file(path);
   ASSERT_TRUE(text.has_value());
   EXPECT_NE(text->find("\"series\": ["), std::string::npos);
+}
+
+TEST(SweepSpec, ServingAxisEnumeratesAndKeepsOffKeysStable) {
+  SweepSpec base = mini_spec();
+  base.protocols = {core::ProtocolKind::kHidCan};
+  base.lambdas = {0.5};
+  base.node_counts = {24};
+  base.repeats = 1;
+
+  // The implicit default and an explicit {"off"} are the same spec: same
+  // describe() (no sv=[] segment), same fingerprint, same keys/seeds —
+  // pre-serving manifests and shard files stay resumable.
+  SweepSpec off = base;
+  off.servings = {"off"};
+  EXPECT_EQ(base.describe(), off.describe());
+  EXPECT_EQ(base.fingerprint(), off.fingerprint());
+  EXPECT_EQ(base.describe().find("sv=["), std::string::npos);
+
+  SweepSpec sv = base;
+  sv.servings = {"off", "closed", "closed+zipf"};
+  EXPECT_NE(sv.describe().find("sv=["), std::string::npos);
+  EXPECT_NE(sv.fingerprint(), base.fingerprint());
+  const auto cells = sv.enumerate();
+  ASSERT_EQ(cells.size(), 3u);
+  ASSERT_EQ(cells.size(), sv.cell_count());
+
+  std::map<std::string, const SweepCell*> by_key;
+  for (const SweepCell& c : cells) by_key[c.key] = &c;
+  // "off" cells keep the pre-serving key shape (no suffix) and config.
+  const auto* off_cell = by_key.at("HID-CAN/l0.5/n24/none/c0/base/r0");
+  EXPECT_FALSE(off_cell->config.serving.enabled());
+  EXPECT_EQ(off_cell->config.seed,
+            base.enumerate()[0].config.seed)
+      << "off cell seed unchanged by the new axis";
+  // Serving cells carry the axis in key and config.
+  const auto* closed = by_key.at("HID-CAN/l0.5/n24/none/c0/base/closed/r0");
+  EXPECT_TRUE(closed->config.serving.closed_loop());
+  EXPECT_FALSE(closed->config.serving.skewed());
+  const auto* both =
+      by_key.at("HID-CAN/l0.5/n24/none/c0/base/closed+zipf/r0");
+  EXPECT_TRUE(both->config.serving.closed_loop());
+  EXPECT_TRUE(both->config.serving.skewed());
+}
+
+TEST(SweepPresets, ServingPresetSpansTheLoopAndSkewAxes) {
+  const SweepPreset* serving = preset_by_name("serving");
+  ASSERT_NE(serving, nullptr);
+  EXPECT_EQ(serving->spec.servings.size(), 4u);
+  EXPECT_EQ(serving->spec.lambdas.size(), 2u);
+  EXPECT_EQ(serving->spec.enumerate().size(), serving->spec.cell_count());
+}
+
+TEST(SweepRunner, LatencyHistogramsRoundTripThroughShardFile) {
+  const TempDir dir("latency");
+  ShardResult result;
+  result.spec_fingerprint = 0xfeed;
+  result.shard_id = 0;
+  result.shards_total = 1;
+  CellResult c;
+  c.key = "HID-CAN/l0.5/n24/none/c0/base/closed/r0";
+  c.group = "HID-CAN/l0.5/n24/none/c0/base/closed";
+  c.t_ratio = 0.5;
+  for (std::uint64_t us : {0ull, 7ull, 31ull, 32ull, 4096ull, 5'000'000ull}) {
+    c.latency_first_result.record_us(us);
+    c.latency_finish.record_us(us * 2 + 1);
+  }
+  // Second cell with empty histograms: must come back empty, not steal the
+  // first cell's encoding across the block boundary.
+  CellResult empty = c;
+  empty.key = "HID-CAN/l0.5/n24/none/c0/base/closed/r1";
+  empty.latency_first_result = metrics::LatencyHistogram{};
+  empty.latency_finish = metrics::LatencyHistogram{};
+  result.cells.push_back(c);
+  result.cells.push_back(empty);
+
+  ASSERT_TRUE(write_shard_result(dir.path(), result));
+  const auto back = read_shard_result(shard_path(dir.path(), 0));
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->cells.size(), 2u);
+  EXPECT_EQ(back->cells[0].latency_first_result.encode(),
+            c.latency_first_result.encode());
+  EXPECT_EQ(back->cells[0].latency_finish.encode(),
+            c.latency_finish.encode());
+  EXPECT_EQ(back->cells[0].latency_first_result.sum_us(),
+            c.latency_first_result.sum_us());
+  EXPECT_EQ(back->cells[1].latency_first_result.total(), 0u);
+  EXPECT_EQ(back->cells[1].latency_finish.total(), 0u);
+
+  // A corrupted encoding invalidates the whole shard file (forcing a
+  // re-run) instead of silently merging an empty histogram.
+  const auto text = read_file(shard_path(dir.path(), 0));
+  ASSERT_TRUE(text.has_value());
+  std::string bad = *text;
+  const std::size_t at = bad.find("\"lat_first_b\": \"");
+  ASSERT_NE(at, std::string::npos);
+  bad.insert(at + std::strlen("\"lat_first_b\": \""), "garbage;");
+  ASSERT_TRUE(write_atomic(shard_path(dir.path(), 0), bad));
+  EXPECT_FALSE(read_shard_result(shard_path(dir.path(), 0)).has_value());
+}
+
+TEST(SweepRunner, HostileCellKeysCannotForgeLatencyOrSeriesFields) {
+  // A cell key carrying literal JSON ("hour": …, "lat_first_b": …) must be
+  // escaped on write and must not fabricate series samples or histograms
+  // on read — the regression guard for the bounded first-match parser.
+  const TempDir dir("hostile");
+  ShardResult result;
+  result.spec_fingerprint = 0xbad;
+  result.shard_id = 0;
+  result.shards_total = 1;
+  CellResult c;
+  c.key = "evil\", \"hour\": 99, \"lat_first_b\": \"1;0:1\", \"x\": \"/r0";
+  c.group = "evil\", \"hour\": 99, \"lat_first_b\": \"1;0:1\", \"x\": \"";
+  c.t_ratio = 0.25;
+  result.cells.push_back(c);
+
+  ASSERT_TRUE(write_shard_result(dir.path(), result));
+  const auto back = read_shard_result(shard_path(dir.path(), 0));
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->cells.size(), 1u);
+  EXPECT_EQ(back->cells[0].key, c.key);
+  EXPECT_EQ(back->cells[0].t_ratio, 0.25);
+  EXPECT_TRUE(back->cells[0].series.empty())
+      << "escaped key text must not parse as a series sample";
+  EXPECT_EQ(back->cells[0].latency_first_result.total(), 0u)
+      << "escaped key text must not parse as a histogram";
+}
+
+TEST(SweepMerge, LatencyFoldsBucketWiseAcrossShardLayouts) {
+  // Real serving cells across two shard geometries: the folded group
+  // histogram (and thus every percentile) must be layout-independent, and
+  // must equal the bucket-wise sum of the per-cell histograms.
+  SweepSpec spec = mini_spec();
+  spec.protocols = {core::ProtocolKind::kNewscast};
+  spec.lambdas = {0.5};
+  spec.node_counts = {24};
+  spec.servings = {"closed"};
+  spec.repeats = 2;
+  spec.hours = 0.3;
+  const std::uint64_t fp = spec.fingerprint();
+
+  const TempDir dir2("lat2");
+  const TempDir dir5("lat5");
+  for (const Shard& shard : partition(spec, 2)) {
+    ASSERT_TRUE(write_shard_result(dir2.path(), run_shard(shard, fp, 2)));
+  }
+  for (const Shard& shard : partition(spec, 5)) {
+    ASSERT_TRUE(write_shard_result(dir5.path(), run_shard(shard, fp, 5)));
+  }
+  std::string err;
+  const auto a = merge_shards(dir2.path(), spec, 2, &err);
+  ASSERT_TRUE(a.has_value()) << err;
+  const auto b = merge_shards(dir5.path(), spec, 5, &err);
+  ASSERT_TRUE(b.has_value()) << err;
+  ASSERT_EQ(a->groups.size(), 1u);
+  ASSERT_EQ(b->groups.size(), 1u);
+  EXPECT_EQ(a->groups[0].latency_finish.encode(),
+            b->groups[0].latency_finish.encode());
+  EXPECT_EQ(a->groups[0].latency_first_result.encode(),
+            b->groups[0].latency_first_result.encode());
+  EXPECT_EQ(a->groups[0].latency_finish.percentile_s(99.0),
+            b->groups[0].latency_finish.percentile_s(99.0));
+  EXPECT_EQ(a->groups[0].latency_first_p99_ci95,
+            b->groups[0].latency_first_p99_ci95);
+
+  // The group fold equals summing the cells by hand.
+  metrics::LatencyHistogram manual;
+  for (const CellResult& cell : a->cells) manual.merge(cell.latency_finish);
+  EXPECT_EQ(manual.encode(), a->groups[0].latency_finish.encode());
+
+  // And the written report carries the latency block.
+  const std::string path = dir2.path() + "/merged.json";
+  ASSERT_TRUE(write_merged_report(path, spec, *a));
+  const auto text = read_file(path);
+  ASSERT_TRUE(text.has_value());
+  EXPECT_NE(text->find("\"latency\": { \"first_result\":"), std::string::npos);
+  EXPECT_NE(text->find("\"p999_s\":"), std::string::npos);
+  EXPECT_NE(text->find("\"p99_ci95\":"), std::string::npos);
 }
 
 TEST(SweepMerge, GroupStatsMatchHandComputedCi) {

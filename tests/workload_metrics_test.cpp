@@ -2,7 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
 
+#include "src/common/stats.hpp"
 #include "src/metrics/task_metrics.hpp"
 #include "src/workload/generator.hpp"
 
@@ -171,6 +173,96 @@ TEST(TaskMetrics, SeriesHandlesEmptySystem) {
   ASSERT_EQ(series.size(), 2u);
   EXPECT_DOUBLE_EQ(series[0].t_ratio, 0.0);
   EXPECT_DOUBLE_EQ(series[0].fairness, 1.0);
+}
+
+/// Brute-force oracle: the pre-streaming representation — every event kept
+/// as a timestamped row, series samples computed by filtering.  The
+/// streaming TaskMetrics must be bit-identical to this, since the golden
+/// trajectories hash the fairness doubles that series() emits.
+struct EventOracle {
+  struct Ev {
+    SimTime at;
+    double value;
+  };
+  std::vector<Ev> generated, failed, finished;
+
+  [[nodiscard]] metrics::SeriesSample sample(SimTime t) const {
+    metrics::SeriesSample s;
+    s.hour = to_hours(t);
+    double sum = 0.0, sum_sq = 0.0;
+    std::size_t fin = 0;
+    // Streaming order is event order — accumulate left to right exactly.
+    for (const Ev& e : finished) {
+      if (e.at > t) continue;
+      ++fin;
+      sum += e.value;
+      sum_sq += e.value * e.value;
+    }
+    for (const Ev& e : generated) s.generated += e.at <= t;
+    for (const Ev& e : failed) s.failed += e.at <= t;
+    s.finished = fin;
+    if (s.generated > 0) {
+      s.t_ratio = static_cast<double>(fin) / static_cast<double>(s.generated);
+      s.f_ratio =
+          static_cast<double>(s.failed) / static_cast<double>(s.generated);
+    }
+    s.fairness = jain_from_moments(fin, sum, sum_sq);
+    return s;
+  }
+};
+
+TEST(TaskMetrics, StreamingSeriesIsBitIdenticalToEventOracle) {
+  // Deterministic pseudo-random event tape, with equal timestamps and
+  // bucket-boundary hits on purpose.  Each stream is fed in nondecreasing
+  // time order (the simulator guarantee) but the three streams interleave
+  // arbitrarily relative to each other.
+  TaskMetrics m;
+  EventOracle oracle;
+  Rng rng(0xfeedface);
+  SimTime tg = 0, tf = 0, tc = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const double roll = rng.uniform();
+    if (roll < 0.5) {
+      tg += seconds(rng.uniform(0.0, 90.0));
+      m.on_generated(tg);
+      oracle.generated.push_back({tg, 0.0});
+    } else if (roll < 0.8) {
+      tc += seconds(rng.uniform(0.0, 150.0));
+      // Duplicate timestamps within a bucket are the common case; exact
+      // bucket-edge values (multiples of 60 s) exercise the boundary.
+      // Round UP so the per-stream nondecreasing-time guarantee holds.
+      if (rng.uniform() < 0.2) {
+        tc = ((tc + seconds(60) - 1) / seconds(60)) * seconds(60);
+      }
+      const double v = rng.uniform();
+      m.on_finished(tc, v);
+      oracle.finished.push_back({tc, v});
+    } else {
+      tf += seconds(rng.uniform(0.0, 300.0));
+      m.on_failed(tf);
+      oracle.failed.push_back({tf, 0.0});
+    }
+  }
+  for (const SimTime step : {seconds(60), seconds(600), seconds(3600)}) {
+    const SimTime horizon = seconds(90000);
+    const auto series = m.series(horizon, step);
+    ASSERT_EQ(series.size(),
+              static_cast<std::size_t>(horizon / step));
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      const SimTime t = static_cast<SimTime>(i + 1) * step;
+      const metrics::SeriesSample want = oracle.sample(t);
+      ASSERT_EQ(series[i].generated, want.generated) << "t=" << t;
+      ASSERT_EQ(series[i].finished, want.finished) << "t=" << t;
+      ASSERT_EQ(series[i].failed, want.failed) << "t=" << t;
+      // Bit-identical doubles, not NEAR: the golden hashes depend on it.
+      ASSERT_EQ(series[i].t_ratio, want.t_ratio) << "t=" << t;
+      ASSERT_EQ(series[i].f_ratio, want.f_ratio) << "t=" << t;
+      ASSERT_EQ(series[i].fairness, want.fairness) << "t=" << t;
+    }
+  }
+  // Memory model: the accumulators keep at most one snapshot per closed
+  // 60 s bucket per stream, never one per event.
+  EXPECT_DOUBLE_EQ(m.fairness(), oracle.sample(seconds(1 << 30)).fairness);
 }
 
 }  // namespace

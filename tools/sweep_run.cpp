@@ -16,6 +16,12 @@
 //   --protocols HID-CAN,Newscast,KHDN-CAN   --lambdas 0.3,0.5
 //   --node-counts 96,384                    --scenarios none,flash
 //   --churns 0.0,0.5                        --variants base,delta4
+//   --servings off,closed+zipf              (serving-workload presets:
+//                                            off|open|closed|zipf|diurnal,
+//                                            '+'-composable — see `--preset
+//                                            serving`; every cell carries
+//                                            per-query latency percentiles
+//                                            in the merged report)
 //   --repeats 3 --base-seed 1 --hours 6
 //
 // The paper's figures reproduce through the presets: `sweep_run --preset
