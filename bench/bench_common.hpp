@@ -16,6 +16,8 @@
 
 #include "src/common/json_mini.hpp"
 #include "src/core/soc.hpp"
+#include "src/obs/profiler.hpp"
+#include "src/obs/registry.hpp"
 
 namespace soc::bench {
 
@@ -101,6 +103,7 @@ struct PerfSample {
   metrics::LatencyHistogram latency_first_result;
   metrics::LatencyHistogram latency_finish;
   std::vector<core::ExperimentResults::MsgTypeCounts> traffic;
+  std::vector<obs::MetricSample> metrics;
 };
 
 /// Resident-set high-water mark of this process, in bytes.
@@ -115,9 +118,18 @@ inline std::uint64_t peak_rss_bytes() {
 }
 
 /// Run one config under a wall-clock timer and record the hot-path rates.
-inline PerfSample timed_run(const core::ExperimentConfig& config) {
+/// With a TimeProfiler, each delivered message's handler is additionally
+/// timed into the profiler's per-MsgType bucket (pure observer on the
+/// trajectory, but it costs a clock pair per delivery — keep it off for
+/// the rate figures the trajectory gate compares).
+inline PerfSample timed_run(const core::ExperimentConfig& config,
+                            obs::TimeProfiler* profiler = nullptr) {
   const auto t0 = std::chrono::steady_clock::now();
-  const core::ExperimentResults r = core::run_experiment(config);
+  core::Experiment exp(config);
+  exp.setup();
+  if (profiler != nullptr) exp.bus().set_time_profiler(profiler);
+  exp.run();
+  const core::ExperimentResults r = exp.results();
   const std::chrono::duration<double> dt =
       std::chrono::steady_clock::now() - t0;
   PerfSample s;
@@ -135,6 +147,7 @@ inline PerfSample timed_run(const core::ExperimentConfig& config) {
   s.latency_first_result = r.latency_first_result;
   s.latency_finish = r.latency_finish;
   s.traffic = r.traffic_by_type;
+  s.metrics = r.metrics;
   return s;
 }
 
@@ -214,6 +227,16 @@ inline bool write_perf_json(const std::string& path, const char* bench_name,
                    static_cast<unsigned long long>(m.delivered),
                    static_cast<unsigned long long>(m.lost),
                    static_cast<unsigned long long>(m.partitioned));
+    }
+    // Registry snapshot as {"k","v"} pairs: metric names live inside
+    // escaped string *values*, so a hostile name can never alias a schema
+    // key under json_mini's needle parsing (see src/obs/registry.hpp).
+    std::fprintf(f, " ],\n      \"metrics\": [");
+    for (std::size_t m = 0; m < s.metrics.size(); ++m) {
+      std::fprintf(f, "%s\n        { \"k\": \"%s\", \"v\": %.6f }",
+                   m > 0 ? "," : "",
+                   json_mini::escape(s.metrics[m].name).c_str(),
+                   s.metrics[m].value);
     }
     std::fprintf(f, " ] }%s\n", i + 1 < samples.size() ? "," : "");
   }

@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "src/core/soc.hpp"
+#include "src/obs/trace.hpp"
 
 namespace {
 
@@ -99,6 +100,37 @@ void BM_RngUniform(benchmark::State& state) {
   benchmark::DoNotOptimize(acc);
 }
 BENCHMARK(BM_RngUniform);
+
+// The exact hook shape every hot path uses when tracing is off: one load
+// of the global sink and a predictable branch.  Guards trace.hpp's
+// zero-cost-when-off claim — this should stay within noise of an empty
+// loop iteration.
+void BM_TracerOff(benchmark::State& state) {
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    if (obs::Tracer* t = obs::tracer()) {
+      t->mark("bench", "hook", id, static_cast<SimTime>(id));
+    }
+    benchmark::DoNotOptimize(++id);
+  }
+}
+BENCHMARK(BM_TracerOff);
+
+// The same hook with a sink installed — what `--trace` costs per event
+// (a fixed-size record appended to a deque slab).
+void BM_TracerOn(benchmark::State& state) {
+  obs::Tracer tracer;
+  obs::Tracer* prev = obs::install_tracer(&tracer);
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    if (obs::Tracer* t = obs::tracer()) {
+      t->mark("bench", "hook", id, static_cast<SimTime>(id));
+    }
+    benchmark::DoNotOptimize(++id);
+  }
+  obs::install_tracer(prev);
+}
+BENCHMARK(BM_TracerOn);
 
 void BM_ResourceVectorDominates(benchmark::State& state) {
   Rng rng(3);

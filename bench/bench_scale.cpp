@@ -108,6 +108,7 @@ int main(int argc, char** argv) {
   s.stale_misplaced = r1.stale_records_misplaced;
   s.slot_span_ratio = r1.slot_span_ratio;
   s.traffic = r1.traffic_by_type;
+  s.metrics = r1.metrics;
   const double wall = s.wall_seconds > 0.0 ? s.wall_seconds : 1e-9;
   const std::uint64_t rss = peak_rss_bytes();
   std::printf("%-14s %10.1fs %12llu ev %10.0f ev/s %12llu msg\n",
@@ -119,6 +120,44 @@ int main(int argc, char** argv) {
               static_cast<double>(rss) / (1024.0 * 1024.0),
               static_cast<double>(rss) / static_cast<double>(c.nodes));
   std::printf("slot_span_ratio: %.3f\n", s.slot_span_ratio);
+
+  // Attribution-profiler breakdown: per-subsystem bytes/node from the
+  // registry's capacity accounting (mem.<bucket>.bytes), against the
+  // process-level peak-RSS figure above.  The coverage ratio says how much
+  // of the real footprint the hooks explain — allocator slack, binary and
+  // stack make up the remainder.
+  std::printf("\n%-24s %14s %12s\n", "subsystem", "bytes", "bytes/node");
+  double accounted = 0.0;
+  for (const auto& m : s.metrics) {
+    if (m.name.rfind("mem.", 0) != 0 || m.name == "mem.slot_span_ratio" ||
+        m.name == "mem.total.bytes") {
+      continue;
+    }
+    // mem.<bucket>.bytes -> <bucket>
+    const std::string bucket = m.name.substr(4, m.name.size() - 4 - 6);
+    std::printf("%-24s %14.0f %12.1f\n", bucket.c_str(), m.value,
+                m.value / static_cast<double>(c.nodes));
+    accounted += m.value;
+  }
+  std::printf("%-24s %14.0f %12.1f  (%.0f%% of peak RSS)\n", "total",
+              accounted, accounted / static_cast<double>(c.nodes),
+              100.0 * accounted / static_cast<double>(rss));
+  // The phase-boundary RSS gauges separate the two halves of the gap:
+  // against the post-join RSS (before churn) the capacity hooks explain
+  // nearly everything; the extra RSS the churn phase adds is glibc
+  // free-list slack from departed nodes' freed state — held by the
+  // allocator, attributable to no subsystem, and itself a bytes/node
+  // lever (pooling per-node protocol state would reclaim it).
+  for (const auto& m : s.metrics) {
+    if (m.name == "rss.post_join.bytes" && m.value > 0.0) {
+      std::printf("coverage vs post-join RSS: %.0f%%  (churn adds %.1f MiB "
+                  "allocator slack, %.0f bytes/node)\n",
+                  100.0 * accounted / m.value,
+                  (static_cast<double>(rss) - m.value) / (1024.0 * 1024.0),
+                  (static_cast<double>(rss) - m.value) /
+                      static_cast<double>(c.nodes));
+    }
+  }
 
   int rc = 0;
   if (verify_identical) {

@@ -11,6 +11,10 @@
 #   scripts/ci.sh figures   # figure-reproduction smoke (-L figures): a
 #                           # reduced-grid `sweep_run --preset` run per
 #                           # figure class, 2 workers, series tables
+#   scripts/ci.sh obs       # observability lane (-L obs): tracer
+#                           # transparency (bit-identical trajectories
+#                           # with tracing on), trace JSON shape, registry
+#                           # hostile-name round-trips
 #   scripts/ci.sh serving   # serving-workload lane (-L serving): the
 #                           # reduced `--preset serving` grid (closed-loop
 #                           # clients, Zipf skew, latency histograms)
@@ -61,6 +65,9 @@ case "$lane" in
   serving)
     ctest -L serving --output-on-failure -j8
     ;;
+  obs)
+    ctest -L obs --output-on-failure -j8
+    ;;
   scale)
     # Serialized on purpose: the scale run is itself the measurement.
     ctest -C scale -L scale --output-on-failure
@@ -74,7 +81,7 @@ case "$lane" in
     ctest -C nightly --output-on-failure -j8
     ;;
   *)
-    echo "usage: scripts/ci.sh [unit|sweep|figures|serving|scale|full|nightly|asan]" >&2
+    echo "usage: scripts/ci.sh [unit|sweep|figures|obs|serving|scale|full|nightly|asan]" >&2
     exit 2
     ;;
 esac

@@ -72,6 +72,23 @@ class PartitionTree {
   /// Test oracle: zones of all leaves tile the unit cube exactly.
   [[nodiscard]] bool tiles_unit_cube() const;
 
+  /// Bytes claimed by the tree nodes plus the leaf map
+  /// (attribution-profiler hook; O(nodes) walk, report-time only).
+  [[nodiscard]] std::size_t mem_bytes() const {
+    std::size_t n = 0;
+    std::vector<const TreeNode*> stack;
+    stack.push_back(root_.get());
+    while (!stack.empty()) {
+      const TreeNode* t = stack.back();
+      stack.pop_back();
+      if (t == nullptr) continue;
+      ++n;
+      stack.push_back(t->left.get());
+      stack.push_back(t->right.get());
+    }
+    return n * sizeof(TreeNode) + leaves_.mem_bytes();
+  }
+
  private:
   TreeNode* leaf_for(NodeId id) const;
   /// Deepest leftmost pair of sibling leaves in the subtree rooted at t.

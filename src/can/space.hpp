@@ -156,6 +156,20 @@ class CanSpace {
   /// The metadata check alone (cheaper; used by the churn stress test).
   [[nodiscard]] bool verify_adjacency_cache() const;
 
+  /// Bytes claimed by overlay membership state: the dense member map,
+  /// every member's neighbor/link arrays, and the partition tree
+  /// (attribution-profiler hook; O(members), report-time only).
+  [[nodiscard]] std::size_t mem_bytes() const {
+    std::size_t b = members_.mem_bytes();
+    for (const auto& [id, m] : members_) {
+      (void)id;
+      b += m.neighbors.capacity() * sizeof(NodeId) +
+           m.links.capacity() * sizeof(NeighborLink);
+    }
+    if (tree_.has_value()) b += tree_->mem_bytes();
+    return b;
+  }
+
  private:
   /// `neighbors` and `links` are parallel arrays (links[i].id ==
   /// neighbors[i], both sorted by id): the duplicate id column buys the

@@ -133,6 +133,15 @@ class DenseNodeMap {
     return static_cast<double>(slots_.size()) / static_cast<double>(size_);
   }
 
+  /// Bytes claimed by the map's own backing vectors.  Excludes heap
+  /// memory owned by stored T values — attribution-profiler callers walk
+  /// the values themselves when T owns heap state.
+  [[nodiscard]] std::size_t mem_bytes() const {
+    return slot_of_.capacity() * sizeof(std::uint32_t) +
+           id_of_.capacity() * sizeof(std::uint32_t) +
+           slots_.capacity() * sizeof(std::optional<T>);
+  }
+
   /// Rebuild `slots_` densely when span > factor·size (and the span is
   /// worth the rebuild).  Pure storage motion: ids, values, and ascending
   /// iteration order are preserved; no RNG draws, no events.  Returns

@@ -7,6 +7,8 @@
 
 #include "src/common/logging.hpp"
 #include "src/core/khdn_protocol.hpp"
+#include "src/obs/profiler.hpp"
+#include "src/obs/trace.hpp"
 #include "src/core/newscast_protocol.hpp"
 #include "src/core/pidcan_protocol.hpp"
 #include "src/scenario/engine.hpp"
@@ -69,6 +71,12 @@ namespace {
 /// submit → now as non-negative integer microseconds for the histograms.
 std::uint64_t latency_us(SimTime submit, SimTime now) {
   return now > submit ? static_cast<std::uint64_t>(now - submit) : 0;
+}
+
+/// Logical async-span id for a task: origin and per-origin sequence.
+/// Never pointer-derived — trace ids must be bit-deterministic per seed.
+std::uint64_t trace_id(TaskId id) {
+  return (static_cast<std::uint64_t>(id.origin.value) << 32) | id.seq;
 }
 }  // namespace
 
@@ -160,6 +168,62 @@ Experiment::Experiment(ExperimentConfig config)
         if (!hosts_.alive(id)) return std::nullopt;
         return hosts_.scheduler(id)->availability();
       });
+
+  register_metrics();
+}
+
+void Experiment::register_metrics() {
+  // Bus traffic, per MsgType: the registry is the generic export path
+  // (the dedicated ExperimentResults fields stay for the goldens).
+  for (std::size_t t = 0; t < static_cast<std::size_t>(net::MsgType::kCount);
+       ++t) {
+    const auto type = static_cast<net::MsgType>(t);
+    const std::string base = "bus." + std::string(net::msg_type_name(type));
+    registry_.gauge(base + ".sent", [this, type] {
+      return static_cast<double>(bus_->stats().sent(type));
+    });
+    registry_.gauge(base + ".delivered", [this, type] {
+      return static_cast<double>(bus_->stats().delivered(type));
+    });
+    registry_.gauge(base + ".lost", [this, type] {
+      return static_cast<double>(bus_->stats().lost(type));
+    });
+    registry_.gauge(base + ".partitioned", [this, type] {
+      return static_cast<double>(bus_->stats().partitioned(type));
+    });
+  }
+  registry_.gauge("tasks.generated", [this] {
+    return static_cast<double>(metrics_.generated());
+  });
+  registry_.gauge("tasks.finished", [this] {
+    return static_cast<double>(metrics_.finished());
+  });
+  registry_.gauge("tasks.failed", [this] {
+    return static_cast<double>(metrics_.failed());
+  });
+  // Same max(peak-at-partition-edges, current) reading results() reports.
+  registry_.gauge("index.stale_debt.dead_provider", [this] {
+    return static_cast<double>(
+        std::max(peak_stale_debt_.dead_provider, current_stale_debt().dead_provider));
+  });
+  registry_.gauge("index.stale_debt.misplaced", [this] {
+    return static_cast<double>(
+        std::max(peak_stale_debt_.misplaced, current_stale_debt().misplaced));
+  });
+  registry_.gauge("mem.slot_span_ratio",
+                  [this] { return protocol_->max_slot_span_ratio(); });
+}
+
+obs::MemBreakdown Experiment::mem_breakdown() const {
+  obs::MemBreakdown out;
+  out.add("sim.event_queue", sim_.queue_mem_bytes());
+  out.add("net.bus_pending", bus_->mem_bytes());
+  out.add("core.host_table", hosts_.mem_bytes());
+  // FlatMap: one state byte plus one key/value pair per table slot.
+  out.add("core.in_flight",
+          in_flight_.capacity() * (1 + sizeof(TaskId) + sizeof(Placement)));
+  protocol_->mem_breakdown(out);
+  return out;
 }
 
 Experiment::~Experiment() = default;
@@ -197,6 +261,13 @@ void Experiment::setup() {
     scenario_engine_ =
         std::make_unique<scenario::ScenarioEngine>(*this, config_.scenario);
     scenario_engine_->install();
+  }
+  // Phase boundary: all hosts joined, nothing has run yet.
+  registry_.set("rss.post_join.bytes",
+                static_cast<double>(obs::current_rss_bytes()),
+                /*deterministic=*/false);
+  if (obs::Tracer* t = obs::tracer()) {
+    t->instant("phase", "post_join", sim_.now(), "nodes", config_.nodes);
   }
 }
 
@@ -262,6 +333,10 @@ bool Experiment::scenario_partition(double fraction, std::size_t start_lan) {
   // maintenance happens on the detached side, and any in-flight cross-cut
   // messages were fated at send time anyway.
   for (const NodeId id : victims) protocol_->on_partition_out(id);
+  if (obs::Tracer* t = obs::tracer()) {
+    t->instant("scenario", "partition", sim_.now(), "cut_hosts",
+               partitioned_.size());
+  }
   sample_stale_debt();
   return true;
 }
@@ -272,10 +347,14 @@ bool Experiment::scenario_partition(double fraction, std::size_t start_lan) {
 /// before rejoin (what's left for rejoin to reconcile; with cuts longer
 /// than the record TTL the leftovers have expired and this samples the
 /// decayed tail).
-void Experiment::sample_stale_debt() {
-  const StaleDebt debt = protocol_->stale_debt(
+StaleDebt Experiment::current_stale_debt() const {
+  return protocol_->stale_debt(
       [this](NodeId id) { return host_alive(id) && !is_partitioned(id); },
       sim_.now());
+}
+
+void Experiment::sample_stale_debt() {
+  const StaleDebt debt = current_stale_debt();
   peak_stale_debt_.dead_provider =
       std::max(peak_stale_debt_.dead_provider, debt.dead_provider);
   peak_stale_debt_.misplaced =
@@ -290,6 +369,9 @@ void Experiment::scenario_heal() {
   partitioned_.clear();
   for (const NodeId id : rejoin) {
     if (host_alive(id)) protocol_->on_rejoin(id);
+  }
+  if (obs::Tracer* t = obs::tracer()) {
+    t->instant("scenario", "heal", sim_.now(), "rejoined", rejoin.size());
   }
 }
 
@@ -395,6 +477,9 @@ void Experiment::submit_task_internal(NodeId origin,
       task_gen_.generate(origin, hosts_.bump_seq(origin), sim_.now(), rng_);
   if (zipf_.has_value()) apply_demand_profile(spec);
   metrics_.on_generated(sim_.now());
+  if (obs::Tracer* t = obs::tracer()) {
+    t->begin("task", "task", trace_id(spec.id), sim_.now());
+  }
   auto run = std::make_shared<TaskRun>();
   run->spec = spec;
   run->on_complete = std::move(on_complete);
@@ -467,6 +552,9 @@ void Experiment::on_candidates(const std::shared_ptr<TaskRun>& run,
       lat_first_result_.record_us(latency_us(run->spec.submit_time,
                                              sim_.now()));
     }
+    if (obs::Tracer* t = obs::tracer()) {
+      t->mark("task", "first_result", trace_id(run->spec.id), sim_.now());
+    }
   }
   run->tried.insert(best);
   dispatch(run, best);
@@ -475,6 +563,9 @@ void Experiment::on_candidates(const std::shared_ptr<TaskRun>& run,
 void Experiment::dispatch(const std::shared_ptr<TaskRun>& run,
                           NodeId provider) {
   ++run->dispatches;
+  if (obs::Tracer* t = obs::tracer()) {
+    t->mark("task", "dispatch", trace_id(run->spec.id), sim_.now());
+  }
   const NodeId origin = run->spec.origin;
 
   // Guard against a dead provider or lost messages with a timeout.
@@ -516,6 +607,10 @@ void Experiment::dispatch(const std::shared_ptr<TaskRun>& run,
                        run->settled = true;
                        dispatch_attempts_.add(
                            static_cast<double>(run->dispatches));
+                       if (obs::Tracer* t = obs::tracer()) {
+                         t->mark("task", "placed", trace_id(run->spec.id),
+                                 sim_.now());
+                       }
                      } else {
                        // Contention: someone claimed the node first
                        // (Inequality (2) no longer holds).  Try the next
@@ -533,6 +628,10 @@ void Experiment::retry_or_fail(const std::shared_ptr<TaskRun>& run) {
   if (!origin_alive || run->attempts > config_.max_query_retries) {
     run->settled = true;
     metrics_.on_failed(sim_.now());
+    if (obs::Tracer* t = obs::tracer()) {
+      t->mark("task", "failed", trace_id(run->spec.id), sim_.now());
+      t->end("task", "task", trace_id(run->spec.id), sim_.now());
+    }
     if (run->on_complete) run->on_complete();
     if (config_.diagnose_failures) {
       // Ground truth at failure time: could any alive host admit the task?
@@ -588,6 +687,9 @@ void Experiment::on_host_finished_task(NodeId host,
   if (it == in_flight_.end()) return;
   metrics_.on_finished(sim_.now(),
                        efficiency_of(it->second.spec, info.finished_at));
+  if (obs::Tracer* t = obs::tracer()) {
+    t->end("task", "task", trace_id(info.id), sim_.now());
+  }
   lat_finish_.record_us(
       latency_us(it->second.spec.submit_time, info.finished_at));
   std::function<void()> wake = std::move(it->second.on_complete);
@@ -759,6 +861,14 @@ void Experiment::start_checkpointing() {
 void Experiment::run() {
   if (!setup_done_) setup();
   sim_.run_until(config_.duration);
+  // Phase boundary: churn/workload done (sampled before any teardown, so
+  // it is the post-churn figure bench_report's peak-RSS line lacked).
+  registry_.set("rss.post_churn.bytes",
+                static_cast<double>(obs::current_rss_bytes()),
+                /*deterministic=*/false);
+  if (obs::Tracer* t = obs::tracer()) {
+    t->instant("phase", "post_churn", sim_.now());
+  }
 }
 
 std::size_t Experiment::alive_nodes() const { return alive_count_; }
@@ -800,9 +910,7 @@ ExperimentResults Experiment::results() const {
   r.checkpoint_restarts = checkpoint_restarts_;
   r.checkpoint_snapshots = checkpoint_snapshots_;
   r.wasted_work_rate_seconds = wasted_work_;
-  const StaleDebt debt = protocol_->stale_debt(
-      [this](NodeId id) { return host_alive(id) && !is_partitioned(id); },
-      sim_.now());
+  const StaleDebt debt = current_stale_debt();
   r.stale_records_dead_provider =
       std::max(peak_stale_debt_.dead_provider, debt.dead_provider);
   r.stale_records_misplaced =
@@ -810,6 +918,14 @@ ExperimentResults Experiment::results() const {
   r.slot_span_ratio = protocol_->max_slot_span_ratio();
   r.latency_first_result = lat_first_result_;
   r.latency_finish = lat_finish_;
+  // Attribution-profiler breakdown, folded in at snapshot time (capacity
+  // accounting is a deterministic function of the trajectory, unlike RSS).
+  const obs::MemBreakdown breakdown = mem_breakdown();
+  for (const auto& [bucket, bytes] : breakdown.items()) {
+    registry_.set("mem." + bucket + ".bytes", static_cast<double>(bytes));
+  }
+  registry_.set("mem.total.bytes", static_cast<double>(breakdown.total()));
+  r.metrics = registry_.snapshot();
   return r;
 }
 

@@ -23,6 +23,7 @@
 #include "src/metrics/task_metrics.hpp"
 #include "src/net/message_bus.hpp"
 #include "src/net/topology.hpp"
+#include "src/obs/registry.hpp"
 #include "src/psm/checkpoint.hpp"
 #include "src/psm/scheduler.hpp"
 #include "src/query/query_engine.hpp"
@@ -202,6 +203,14 @@ struct ExperimentResults {
   /// compaction factor under churn (unbounded growth here is the memory
   /// regression the scale lane guards against).
   double slot_span_ratio = 1.0;
+
+  /// Full metrics-registry snapshot at collection time, sorted by name.
+  /// New metrics land in every report (bench --json "metrics" object,
+  /// sweep shard "metrics" array) through this one vector instead of
+  /// being hand-plumbed per field.  Samples flagged deterministic=false
+  /// (RSS gauges, wall-time profiles) are excluded from byte-compared
+  /// artifacts, the same regime as wall_seconds.
+  std::vector<obs::MetricSample> metrics;
 };
 
 /// Run one full simulation; deterministic in config.seed.
@@ -236,6 +245,18 @@ class Experiment {
   void submit_task(NodeId origin);
 
   [[nodiscard]] const ExperimentConfig& config() const { return config_; }
+
+  /// The experiment's metric registry: bus traffic, task counters, stale
+  /// debt, storage footprints — everything results() snapshots into
+  /// ExperimentResults::metrics.  Exposed so report tools can add their
+  /// own gauges (e.g. phase-boundary RSS).
+  [[nodiscard]] obs::Registry& registry() { return registry_; }
+
+  /// Per-subsystem storage footprint at this instant: event queue, bus
+  /// slab, host table, in-flight map, plus the protocol's buckets (CAN
+  /// space, index caches, gossip views...).  The sum is the simulator's
+  /// own accounted memory — bench_scale compares it against peak RSS.
+  [[nodiscard]] obs::MemBreakdown mem_breakdown() const;
 
   // -- Scenario-engine hooks (src/scenario/engine.cpp) and fuzz oracles.
   // The engine drives population changes through the exact same paths the
@@ -352,7 +373,17 @@ class Experiment {
   double avg_wan_mbps_ = 1.0;
   std::size_t alive_count_ = 0;
   void sample_stale_debt();
+  /// Debt of live, reachable hosts right now (the results()/gauge reading).
+  [[nodiscard]] StaleDebt current_stale_debt() const;
 
+  /// Register the standard gauges (bus per-type counters, task counters,
+  /// stale debt, slot-span ratio, memory buckets) once the protocol and
+  /// bus exist; called at the end of construction.
+  void register_metrics();
+
+  /// mutable: results() is const but folds the memory breakdown into the
+  /// registry at snapshot time — observability state, not simulation state.
+  mutable obs::Registry registry_;
   std::vector<NodeId> cold_reap_;  ///< dead+drained hosts awaiting release
   std::vector<NodeId> partitioned_;  ///< cut-off alive hosts, ascending
   StaleDebt peak_stale_debt_;  ///< max sampled at partition edges (results)

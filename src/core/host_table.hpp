@@ -89,6 +89,19 @@ class HostTable {
   /// Cold slots currently holding a scheduler (live + detached-busy).
   [[nodiscard]] std::size_t schedulers_live() const { return cold_.live(); }
 
+  /// Bytes claimed by the SoA vectors plus the cold-scheduler slab
+  /// chunks; attribution-profiler hook.  Scheduler-internal task maps
+  /// are not walked — the fixed ~200-byte PsmScheduler footprint is the
+  /// dominant cold term.
+  [[nodiscard]] std::size_t mem_bytes() const {
+    return alive_.capacity() * sizeof(std::uint8_t) +
+           capacity_.capacity() * sizeof(ResourceVector) +
+           next_seq_.capacity() * sizeof(std::uint32_t) +
+           cold_slot_.capacity() * sizeof(std::uint32_t) +
+           fen_.capacity() * sizeof(std::uint32_t) +
+           cold_.capacity_slots() * sizeof(psm::PsmScheduler);
+  }
+
  private:
   using ColdSlab = StableSlab<psm::PsmScheduler>;
 

@@ -33,6 +33,16 @@ class KhdnProtocol final : public DiscoveryProtocol {
   [[nodiscard]] double max_slot_span_ratio() const override {
     return std::max(space_.span_ratio(), system_.span_ratio());
   }
+  void mem_breakdown(obs::MemBreakdown& out) const override {
+    out.add("can.space", space_.mem_bytes());
+    out.add("khdn.caches", system_.mem_bytes());
+    std::size_t parked = 0;
+    for (const auto& [id, cache] : parked_) {
+      (void)id;
+      parked += cache.mem_bytes();
+    }
+    out.add("core.parked", parked);
+  }
 
   [[nodiscard]] can::CanSpace& space() { return space_; }
   [[nodiscard]] khdn::KhdnSystem& system() { return system_; }

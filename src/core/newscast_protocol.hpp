@@ -31,6 +31,15 @@ class NewscastProtocol final : public DiscoveryProtocol {
   [[nodiscard]] double max_slot_span_ratio() const override {
     return system_.span_ratio();
   }
+  void mem_breakdown(obs::MemBreakdown& out) const override {
+    out.add("gossip.views", system_.mem_bytes());
+    std::size_t parked = 0;
+    for (const auto& [id, view] : parked_) {
+      (void)id;
+      parked += view.capacity() * sizeof(gossip::ViewEntry);
+    }
+    out.add("core.parked", parked);
+  }
 
   [[nodiscard]] gossip::NewscastSystem& system() { return system_; }
 

@@ -56,6 +56,19 @@ class PidCanProtocol final : public DiscoveryProtocol {
     if (aggregator_ != nullptr) r = std::max(r, aggregator_->span_ratio());
     return r;
   }
+  void mem_breakdown(obs::MemBreakdown& out) const override {
+    out.add("can.space", space_.mem_bytes());
+    out.add("index.state", index_.mem_bytes());
+    if (aggregator_ != nullptr) {
+      out.add("gossip.aggregation", aggregator_->mem_bytes());
+    }
+    std::size_t parked = 0;
+    for (const auto& [id, p] : parked_) {
+      (void)id;
+      parked += p.cache.mem_bytes() + p.pi.mem_bytes() + p.table.mem_bytes();
+    }
+    out.add("core.parked", parked);
+  }
 
   /// The CAN point a demand/availability vector files under (appends the
   /// virtual coordinate in the VD variant).

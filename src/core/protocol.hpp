@@ -10,6 +10,7 @@
 
 #include "src/common/resource_vector.hpp"
 #include "src/common/types.hpp"
+#include "src/obs/profiler.hpp"
 
 namespace soc::core {
 
@@ -97,6 +98,13 @@ class DiscoveryProtocol {
   /// it bounded by the compaction factor.  Default for protocols without
   /// per-node maps: dense.
   [[nodiscard]] virtual double max_slot_span_ratio() const { return 1.0; }
+
+  /// Deposit the protocol's per-subsystem storage footprint into the
+  /// attribution profiler's breakdown (bucket names like "can.space",
+  /// "index.caches", "gossip.views").  Capacity-based accounting — what
+  /// the subsystem has claimed from the allocator, which is what peak
+  /// RSS sees.  Default: nothing to report.
+  virtual void mem_breakdown(obs::MemBreakdown& /*out*/) const {}
 
   [[nodiscard]] virtual std::string name() const = 0;
 };

@@ -49,6 +49,10 @@ class MaxAggregator {
   /// Storage density of the aggregation-state map (slot_span/size).
   [[nodiscard]] double span_ratio() const { return state_.span_ratio(); }
 
+  /// Bytes claimed by the aggregation state (flat NodeStates — the dense
+  /// map accounts for everything; attribution-profiler hook).
+  [[nodiscard]] std::size_t mem_bytes() const { return state_.mem_bytes(); }
+
   /// Update the node's own contribution (capacities are static in the
   /// paper's setting, but the API supports dynamic values).
   void update_local(NodeId id, const ResourceVector& value);

@@ -67,6 +67,17 @@ class NewscastSystem {
   /// Storage density of the view map (slot_span/size).
   [[nodiscard]] double span_ratio() const { return views_.span_ratio(); }
 
+  /// Bytes claimed by the gossip views (the dense map plus every view's
+  /// entry array; attribution-profiler hook).
+  [[nodiscard]] std::size_t mem_bytes() const {
+    std::size_t b = views_.mem_bytes();
+    for (const auto& [id, view] : views_) {
+      (void)id;
+      b += view.capacity() * sizeof(ViewEntry);
+    }
+    return b;
+  }
+
   /// Extract `id`'s view ahead of a partition teardown.
   [[nodiscard]] std::vector<ViewEntry> park_node(NodeId id);
   /// Re-enter `id` with its parked *stale* view: the entries it heard

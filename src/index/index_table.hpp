@@ -70,6 +70,14 @@ class IndexTable {
   [[nodiscard]] std::size_t dims() const { return dims_; }
   [[nodiscard]] std::size_t total_entries() const;
 
+  /// Bytes claimed by the per-track entry arrays
+  /// (attribution-profiler hook).
+  [[nodiscard]] std::size_t mem_bytes() const {
+    std::size_t b = tracks_.capacity() * sizeof(std::vector<Entry>);
+    for (const auto& t : tracks_) b += t.capacity() * sizeof(Entry);
+    return b;
+  }
+
  private:
   [[nodiscard]] std::size_t track_index(std::size_t dim,
                                         can::Direction dir) const;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/common/logging.hpp"
+#include "src/obs/trace.hpp"
 
 namespace soc::index {
 
@@ -240,6 +241,13 @@ void IndexSystem::route_step(NodeId at, std::size_t ttl,
     SOC_LOG(kDebug) << "route stalled at node " << at.value;
     return;
   }
+  // Trace query routing hops only — periodic state updates route too and
+  // would swamp the trace with O(nodes/period) events.
+  if (ctx->type == net::MsgType::kDutyQuery) {
+    if (obs::Tracer* t = obs::tracer()) {
+      t->instant("route", "hop", sim_.now(), "to", best.value);
+    }
+  }
   bus_.send(at, best, ctx->type, ctx->bytes,
             [this, ctx, best, ttl] { route_step(best, ttl - 1, ctx); });
 }
@@ -402,6 +410,7 @@ void IndexSystem::handle_diffuse(NodeId at, NodeId subject, std::size_t dim,
 void IndexSystem::probe_now(NodeId id, std::size_t dim, can::Direction dir) {
   auto walk = std::make_shared<ProbeWalk>();
   walk->origin = id;
+  walk->started_at = sim_.now();
   walk->dim = static_cast<std::uint32_t>(dim);
   walk->dir = dir;
   probe_step(id, walk);
@@ -419,6 +428,10 @@ void IndexSystem::probe_step(NodeId at,
   }
 
   auto finish = [&] {
+    if (obs::Tracer* t = obs::tracer()) {
+      t->complete("probe", "probe_walk", walk->started_at,
+                  sim_.now() - walk->started_at, "hops", walk->hops);
+    }
     if (walk->found.empty()) return;
     // One report message back to the origin with all collected samples; the
     // walk state rides along, so the closure stays slot-sized.

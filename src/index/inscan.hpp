@@ -177,6 +177,19 @@ class IndexSystem {
   };
   [[nodiscard]] const Activity& activity() const { return activity_; }
 
+  /// Bytes claimed by the per-node index state: record caches, PILists,
+  /// index tables, the dense maps themselves and the last-location map
+  /// (attribution-profiler hook; O(members), report-time only).
+  [[nodiscard]] std::size_t mem_bytes() const {
+    std::size_t b = state_.mem_bytes() + last_location_.mem_bytes() +
+                    dir_scratch_.capacity() * sizeof(NodeId);
+    for (const auto& [id, st] : state_) {
+      (void)id;
+      b += st.cache.mem_bytes() + st.pi.mem_bytes() + st.table.mem_bytes();
+    }
+    return b;
+  }
+
   [[nodiscard]] const InscanConfig& config() const { return config_; }
   [[nodiscard]] can::CanSpace& space() { return space_; }
   [[nodiscard]] net::MessageBus& bus() { return bus_; }
@@ -198,6 +211,7 @@ class IndexSystem {
   /// heap fallback per probe hop.
   struct ProbeWalk {
     NodeId origin;
+    SimTime started_at = 0;
     std::uint32_t dim = 0;
     can::Direction dir = can::Direction::kNegative;
     std::uint32_t hops = 0;

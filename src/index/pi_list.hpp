@@ -43,6 +43,11 @@ class PiList {
 
   void prune(SimTime now);
 
+  /// Bytes claimed by the entry array (attribution-profiler hook).
+  [[nodiscard]] std::size_t mem_bytes() const {
+    return entries_.capacity() * sizeof(Entry);
+  }
+
  private:
   struct Entry {
     NodeId id;

@@ -85,6 +85,15 @@ class RecordStore {
 
   [[nodiscard]] std::size_t size() const { return keys_.size(); }
 
+  /// Bytes claimed by the key/slot arrays and the record slab
+  /// (attribution-profiler hook; Records are flat — no heap members).
+  [[nodiscard]] std::size_t mem_bytes() const {
+    return keys_.capacity() * sizeof(NodeId) +
+           slots_.capacity() * sizeof(std::uint32_t) +
+           slab_.capacity() * sizeof(Record) +
+           free_.capacity() * sizeof(std::uint32_t);
+  }
+
   /// Structural oracle (sim_fuzz): the key array — expired entries
   /// included — is strictly ascending by provider id (sorted and
   /// duplicate-free), every key's slab slot is in range and unique, the

@@ -63,6 +63,17 @@ class KhdnSystem {
   /// Storage density of the duty-cache map (slot_span/size).
   [[nodiscard]] double span_ratio() const { return caches_.span_ratio(); }
 
+  /// Bytes claimed by the duty caches (the dense map plus every
+  /// RecordStore's arrays; attribution-profiler hook).
+  [[nodiscard]] std::size_t mem_bytes() const {
+    std::size_t b = caches_.mem_bytes();
+    for (const auto& [id, cache] : caches_) {
+      (void)id;
+      b += cache.mem_bytes();
+    }
+    return b;
+  }
+
   /// Extract `id`'s duty cache ahead of a partition teardown (the caller
   /// runs the normal departure path next, which then re-homes nothing).
   [[nodiscard]] index::RecordStore park_node(NodeId id);

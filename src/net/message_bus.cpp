@@ -244,7 +244,16 @@ void MessageBus::deliver(std::uint32_t slot) {
     return;
   }
   stats_.on_delivered(type);
-  if (fn) fn();
+  if (fn) {
+    if (profiler_ != nullptr) {
+      const std::uint64_t t0 = obs::wall_now_ns();
+      fn();
+      profiler_->record_ns(static_cast<std::size_t>(type),
+                           obs::wall_now_ns() - t0);
+      return;
+    }
+    fn();
+  }
 }
 
 }  // namespace soc::net

@@ -16,6 +16,7 @@
 #include "src/common/types.hpp"
 #include "src/net/link_model.hpp"
 #include "src/net/topology.hpp"
+#include "src/obs/profiler.hpp"
 #include "src/sim/simulator.hpp"
 
 namespace soc::net {
@@ -146,6 +147,25 @@ class MessageBus {
   /// Messages sent but not yet arrived (slab occupancy, for tests).
   [[nodiscard]] std::size_t in_flight() const { return pending_.live(); }
 
+  /// Bytes claimed by the in-flight slab's high-water mark
+  /// (attribution-profiler hook).
+  [[nodiscard]] std::size_t mem_bytes() const {
+    return pending_.slots() * sizeof(Pending);
+  }
+
+  /// Attach (or with nullptr detach) a handler wall-time profiler: each
+  /// delivered message's handler execution is timed and recorded into
+  /// the profiler's per-MsgType bucket, in nanoseconds.  Pure observer —
+  /// installing it changes no simulated behavior — but it costs a
+  /// clock_gettime pair per delivery, so it is off unless a report tool
+  /// asks.  The profiler must outlive the bus or be detached first.
+  void set_time_profiler(obs::TimeProfiler* profiler) {
+    profiler_ = profiler;
+  }
+  [[nodiscard]] const obs::TimeProfiler* time_profiler() const {
+    return profiler_;
+  }
+
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
 
  private:
@@ -172,6 +192,7 @@ class MessageBus {
   Slab<Pending> pending_;
   std::unique_ptr<LinkModel> link_model_;  ///< null unless faults enabled
   std::vector<std::size_t> cut_lans_;      ///< sorted; empty = no partition
+  obs::TimeProfiler* profiler_ = nullptr;  ///< null unless a report asks
 };
 
 }  // namespace soc::net

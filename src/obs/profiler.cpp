@@ -1,0 +1,36 @@
+#include "src/obs/profiler.hpp"
+
+#include <ctime>
+
+#if defined(__linux__)
+#include <unistd.h>
+
+#include <cstdio>
+#endif
+
+namespace soc::obs {
+
+std::uint64_t wall_now_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+std::uint64_t current_rss_bytes() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long vm_pages = 0;
+  unsigned long long rss_pages = 0;
+  const int got = std::fscanf(f, "%llu %llu", &vm_pages, &rss_pages);
+  std::fclose(f);
+  if (got != 2) return 0;
+  return static_cast<std::uint64_t>(rss_pages) *
+         static_cast<std::uint64_t>(sysconf(_SC_PAGESIZE));
+#else
+  return 0;
+#endif
+}
+
+}  // namespace soc::obs

@@ -1,0 +1,84 @@
+// obs attribution profiler — *where* the bytes and the wall time go.
+//
+// MemBreakdown: per-subsystem memory accounting.  Subsystems expose
+// `mem_bytes`-style hooks (CanSpace, IndexSystem caches, gossip views,
+// the event/message slabs, HostTable) that report the capacity of their
+// backing storage; Experiment::mem_breakdown() folds them into named
+// buckets whose sum answers ROADMAP direction 1's open question — which
+// per-node overlay state dominates bytes/node at scale.  Accounting is
+// capacity-based (vector::capacity, slab high-water marks), i.e. the
+// address-space the subsystem has claimed, which is what peak RSS sees.
+//
+// TimeProfiler: per-key wall-time buckets reusing LatencyHistogram's
+// fixed log-bucket layout (values recorded in *nanoseconds* here — the
+// histogram is unit-agnostic and handler dispatch is sub-microsecond).
+// MessageBus keys it by MsgType, attributing handler wall time to the
+// protocol handler that consumed it.  Wall time is inherently
+// nondeterministic, so profile samples are flagged deterministic=false
+// and never enter byte-compared artifacts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/metrics/latency_histogram.hpp"
+
+namespace soc::obs {
+
+/// Named byte buckets; add() accumulates, so several components may
+/// deposit into one bucket (e.g. every protocol's caches under
+/// "index.caches").
+class MemBreakdown {
+ public:
+  void add(std::string_view name, std::uint64_t bytes) {
+    by_name_[std::string(name)] += bytes;
+  }
+
+  [[nodiscard]] std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (const auto& [_, b] : by_name_) t += b;
+    return t;
+  }
+
+  /// Buckets in name order (std::map iteration — deterministic).
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& items() const {
+    return by_name_;
+  }
+
+ private:
+  std::map<std::string, std::uint64_t> by_name_;
+};
+
+/// Fixed-size array of wall-time histograms, keyed by small integer
+/// (MessageBus uses MsgType).  Values are nanoseconds.
+class TimeProfiler {
+ public:
+  explicit TimeProfiler(std::size_t keys) : hist_(keys) {}
+
+  void record_ns(std::size_t key, std::uint64_t ns) {
+    if (key < hist_.size()) hist_[key].record_us(ns);
+  }
+
+  [[nodiscard]] std::size_t keys() const { return hist_.size(); }
+  [[nodiscard]] const metrics::LatencyHistogram& bucket(
+      std::size_t key) const {
+    return hist_[key];
+  }
+
+ private:
+  std::vector<metrics::LatencyHistogram> hist_;  // ns samples per key
+};
+
+/// Monotonic wall clock in nanoseconds (CLOCK_MONOTONIC).
+[[nodiscard]] std::uint64_t wall_now_ns();
+
+/// Current resident set size from /proc/self/statm (0 where
+/// unavailable).  Unlike getrusage's ru_maxrss this is the *instant*
+/// RSS, so it can be sampled at phase boundaries (post-join,
+/// post-churn) rather than only reporting the run-wide peak.
+[[nodiscard]] std::uint64_t current_rss_bytes();
+
+}  // namespace soc::obs

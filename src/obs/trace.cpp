@@ -1,0 +1,152 @@
+#include "src/obs/trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace soc::obs {
+
+namespace {
+Tracer* g_tracer = nullptr;
+}  // namespace
+
+Tracer* tracer() { return g_tracer; }
+
+Tracer* install_tracer(Tracer* t) {
+  Tracer* prev = g_tracer;
+  g_tracer = t;
+  return prev;
+}
+
+void Tracer::set_lane(std::uint32_t pid, std::string name) {
+  pid_ = pid;
+  for (const auto& [known, _] : lanes_) {
+    if (known == pid) return;
+  }
+  lanes_.emplace_back(pid, std::move(name));
+}
+
+void Tracer::push(Event e) {
+  e.pid = pid_;
+  events_.push_back(e);
+}
+
+void Tracer::begin(const char* cat, const char* name, std::uint64_t id,
+                   SimTime ts) {
+  push(Event{.ph = 'b', .cat = cat, .name = name, .id = id, .ts = ts});
+}
+
+void Tracer::end(const char* cat, const char* name, std::uint64_t id,
+                 SimTime ts) {
+  push(Event{.ph = 'e', .cat = cat, .name = name, .id = id, .ts = ts});
+}
+
+void Tracer::mark(const char* cat, const char* name, std::uint64_t id,
+                  SimTime ts) {
+  push(Event{.ph = 'n', .cat = cat, .name = name, .id = id, .ts = ts});
+}
+
+void Tracer::instant(const char* cat, const char* name, SimTime ts) {
+  push(Event{.ph = 'i', .cat = cat, .name = name, .ts = ts});
+}
+
+void Tracer::instant(const char* cat, const char* name, SimTime ts,
+                     const char* arg_key, std::uint64_t arg) {
+  push(Event{
+      .ph = 'i', .cat = cat, .name = name, .arg_key = arg_key, .ts = ts,
+      .arg = arg});
+}
+
+void Tracer::complete(const char* cat, const char* name, SimTime ts,
+                      SimTime dur) {
+  push(Event{.ph = 'X', .cat = cat, .name = name, .ts = ts, .dur = dur});
+}
+
+void Tracer::complete(const char* cat, const char* name, SimTime ts,
+                      SimTime dur, const char* arg_key, std::uint64_t arg) {
+  push(Event{
+      .ph = 'X', .cat = cat, .name = name, .arg_key = arg_key, .ts = ts,
+      .dur = dur, .arg = arg});
+}
+
+std::size_t Tracer::count_ph(char ph) const {
+  std::size_t n = 0;
+  for (const Event& e : events_) n += (e.ph == ph) ? 1 : 0;
+  return n;
+}
+
+std::string Tracer::to_json() const {
+  std::string out;
+  out.reserve(64 + events_.size() * 96);
+  out += "{\"traceEvents\": [\n";
+  char buf[256];
+  bool first = true;
+  auto emit = [&](const char* line) {
+    if (!first) out += ",\n";
+    first = false;
+    out += line;
+  };
+  for (const auto& [pid, name] : lanes_) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\": \"M\", \"pid\": %" PRIu32
+                  ", \"tid\": 0, \"name\": \"process_name\", "
+                  "\"args\": {\"name\": \"%s\"}}",
+                  pid, name.c_str());
+    emit(buf);
+  }
+  for (const Event& e : events_) {
+    char args[96] = "";
+    if (e.arg_key != nullptr) {
+      std::snprintf(args, sizeof(args), ", \"args\": {\"%s\": %" PRIu64 "}",
+                    e.arg_key, e.arg);
+    }
+    switch (e.ph) {
+      case 'b':
+      case 'e':
+      case 'n':
+        std::snprintf(buf, sizeof(buf),
+                      "{\"ph\": \"%c\", \"pid\": %" PRIu32
+                      ", \"tid\": 0, \"cat\": \"%s\", \"name\": \"%s\", "
+                      "\"id\": \"0x%" PRIx64 "\", \"ts\": %" PRId64 "%s}",
+                      e.ph, e.pid, e.cat, e.name, e.id, e.ts, args);
+        break;
+      case 'X':
+        std::snprintf(buf, sizeof(buf),
+                      "{\"ph\": \"X\", \"pid\": %" PRIu32
+                      ", \"tid\": 0, \"cat\": \"%s\", \"name\": \"%s\", "
+                      "\"ts\": %" PRId64 ", \"dur\": %" PRId64 "%s}",
+                      e.pid, e.cat, e.name, e.ts, e.dur, args);
+        break;
+      default:  // 'i'
+        std::snprintf(buf, sizeof(buf),
+                      "{\"ph\": \"i\", \"pid\": %" PRIu32
+                      ", \"tid\": 0, \"cat\": \"%s\", \"name\": \"%s\", "
+                      "\"s\": \"p\", \"ts\": %" PRId64 "%s}",
+                      e.pid, e.cat, e.name, e.ts, args);
+        break;
+    }
+    emit(buf);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool Tracer::export_json(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = to_json();
+  const bool wrote =
+      std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace soc::obs

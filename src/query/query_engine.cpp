@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/logging.hpp"
+#include "src/obs/trace.hpp"
 
 namespace soc::query {
 
@@ -40,6 +41,9 @@ std::uint64_t QueryEngine::begin_query(NodeId requester,
       config_.timeout, [this, qid] { finish(qid); });
   pending_.emplace(qid, std::move(p));
   ++stats_.submitted;
+  if (obs::Tracer* t = obs::tracer()) {
+    t->begin("query", "query", qid, index_.simulator().now());
+  }
   return qid;
 }
 
@@ -60,6 +64,9 @@ void QueryEngine::finish(std::uint64_t qid) {
   stats_.delay_seconds.add(
       to_seconds(index_.simulator().now() - p.submitted_at));
   stats_.visited_nodes.add(static_cast<double>(p.visited));
+  if (obs::Tracer* t = obs::tracer()) {
+    t->end("query", "query", qid, index_.simulator().now());
+  }
   if (p.cb) p.cb(std::move(p.results));
 }
 
@@ -85,6 +92,9 @@ void QueryEngine::on_duty_node(std::uint64_t qid, NodeId duty) {
   const auto it = pending_.find(qid);
   if (it == pending_.end()) return;
   ++it->second.visited;
+  if (obs::Tracer* t = obs::tracer()) {
+    t->mark("query", "duty_node", qid, index_.simulator().now());
+  }
 
   // The duty node is the boundary-corner node of the query range (Fig. 1):
   // its own zone overlaps the range, so its cache is searched before the
@@ -182,6 +192,9 @@ std::size_t QueryEngine::harvest_and_notify(std::uint64_t qid, NodeId at,
   });
   if (qualified.empty()) return 0;
   if (qualified.size() > delta) qualified.resize(delta);
+  if (obs::Tracer* t = obs::tracer()) {
+    t->mark("query", "harvest", qid, index_.simulator().now());
+  }
 
   // One FoundList message ϕ straight back to the requester.
   std::vector<Candidate> found;

@@ -66,6 +66,12 @@ class EventQueue {
   /// total scheduled — the stress tests assert on this.
   [[nodiscard]] std::size_t slab_slots() const { return slots_.slots(); }
 
+  /// Bytes claimed by the backing storage (heap capacity + slab
+  /// high-water slots); attribution-profiler hook.
+  [[nodiscard]] std::size_t mem_bytes() const {
+    return heap_.capacity() * sizeof(Entry) + slots_.slots() * sizeof(Slot);
+  }
+
   /// Handle-generation / heap sanity oracle (sim_fuzz): every heap entry's
   /// slot is live (odd generation) with a back-pointer to its heap
   /// position, the heap order invariant holds for all parent/child pairs,

@@ -49,6 +49,11 @@ class Simulator {
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 
+  /// Event-queue storage footprint (attribution-profiler hook).
+  [[nodiscard]] std::size_t queue_mem_bytes() const {
+    return queue_.mem_bytes();
+  }
+
   /// Event-queue slab/heap sanity oracle (sim_fuzz); see
   /// EventQueue::verify_integrity.
   [[nodiscard]] bool verify_queue_integrity() const {

@@ -64,6 +64,7 @@ std::optional<MergedReport> merge_shards(const std::string& dir,
     RunningStats t, f, fair, mpn, delay;
     RunningStats p99_first, p99_finish;
     std::vector<double> ts, fs;
+    std::map<std::string, RunningStats> metric_folds;
     for (const CellResult* c : buckets[g]) {
       t.add(c->t_ratio);
       f.add(c->f_ratio);
@@ -92,6 +93,15 @@ std::optional<MergedReport> merge_shards(const std::string& dir,
       if (c->latency_finish.total() > 0) {
         p99_finish.add(c->latency_finish.percentile_s(99.0));
       }
+      for (const obs::MetricSample& m : c->metrics) {
+        metric_folds[m.name].add(m.value);
+      }
+    }
+    // std::map iteration gives the name-sorted order the report writer
+    // needs for byte-determinism.
+    for (const auto& [name, fold] : metric_folds) {
+      s.metrics_mean.push_back(
+          obs::MetricSample{name, fold.mean(), /*deterministic=*/true});
     }
     s.t_ratio_mean = t.mean();
     s.t_ratio_median = median(ts);
@@ -214,6 +224,19 @@ bool write_merged_report(const std::string& path, const SweepSpec& spec,
                         s.latency_first_p99_ci95, ", ");
     out += latency_json("finish", s.latency_finish, s.latency_finish_p99_ci95,
                         " },\n");
+    // Per-group registry metrics (mean over repeats), {"k","v"}-encoded
+    // like the shard files; before "series" for the same parser-bounding
+    // reason.
+    out += "      \"metrics\": [";
+    for (std::size_t m = 0; m < s.metrics_mean.size(); ++m) {
+      std::snprintf(buf, sizeof(buf),
+                    "%s\n        { \"k\": \"%s\", \"v\": %.9g }",
+                    m > 0 ? "," : "",
+                    json_mini::escape(s.metrics_mean[m].name).c_str(),
+                    s.metrics_mean[m].value);
+      out += buf;
+    }
+    out += s.metrics_mean.empty() ? "],\n" : " ],\n";
     out += "      \"series\": [";
     // Figure curve, after every scalar: the bounded first-match parsers
     // (merge round-trip, compare_core) must hit the scalar first when a

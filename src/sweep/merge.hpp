@@ -66,6 +66,9 @@ struct GroupStats {
   double latency_finish_p99_ci95 = 0.0;
   /// Hour-by-hour curve (the figure shape), indexed by sample position.
   std::vector<GroupSeriesPoint> series;
+  /// Registry metrics, per-name mean over the group's repeats, sorted by
+  /// name (deterministic bytes regardless of shard layout).
+  std::vector<obs::MetricSample> metrics_mean;
 };
 
 struct MergedReport {

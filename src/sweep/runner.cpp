@@ -11,6 +11,7 @@
 #include <map>
 
 #include "src/common/json_mini.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sweep/io.hpp"
 
 namespace soc::sweep {
@@ -23,6 +24,13 @@ ShardResult run_shard(const Shard& shard, std::uint64_t spec_fingerprint,
   result.shards_total = shards_total;
   result.cells.reserve(shard.cells.size());
   for (const SweepCell& cell : shard.cells) {
+    // One trace lane per cell: task/query span ids restart per experiment,
+    // so sharing a lane would pair spans across unrelated cells.  Lane pids
+    // come from the tracer's own counter so local mode (many shards, one
+    // process) keeps them unique.
+    if (obs::Tracer* t = obs::tracer()) {
+      t->set_lane(static_cast<std::uint32_t>(t->lane_count()), cell.key);
+    }
     const auto t0 = std::chrono::steady_clock::now();
     const core::ExperimentResults r = core::run_experiment(cell.config);
     const std::chrono::duration<double> dt =
@@ -51,6 +59,9 @@ ShardResult run_shard(const Shard& shard, std::uint64_t spec_fingerprint,
     out.series = r.series;
     out.latency_first_result = r.latency_first_result;
     out.latency_finish = r.latency_finish;
+    for (const obs::MetricSample& m : r.metrics) {
+      if (m.deterministic) out.metrics.push_back(m);
+    }
     result.cells.push_back(std::move(out));
   }
   return result;
@@ -114,6 +125,21 @@ bool write_shard_result(const std::string& dir, const ShardResult& result) {
     out += "      \"lat_first_b\": \"" + c.latency_first_result.encode() +
            "\",\n";
     out += "      \"lat_finish_b\": \"" + c.latency_finish.encode() + "\",\n";
+    // Registry metrics as {"k","v"} pairs: the name is an escaped string
+    // *value*, so no metric name can alias a schema key ("generated",
+    // "hour", ...) under the bounded needle parser.  Before "series" so
+    // the series sample scan below never sees them.
+    out += "      \"metrics\": [";
+    for (std::size_t m = 0; m < c.metrics.size(); ++m) {
+      n = std::snprintf(buf, sizeof(buf),
+                        "%s\n        { \"k\": \"%s\", \"v\": %.17g }",
+                        m > 0 ? "," : "",
+                        json_mini::escape(c.metrics[m].name).c_str(),
+                        c.metrics[m].value);
+      if (n < 0 || static_cast<std::size_t>(n) >= sizeof(buf)) return false;
+      out += buf;
+    }
+    out += c.metrics.empty() ? "],\n" : " ],\n";
     out += "      \"series\": [";
     // The hour-by-hour samples go AFTER every scalar field: the bounded
     // first-match parser shares key names between the two ("generated",
@@ -209,6 +235,27 @@ std::optional<ShardResult> read_shard_result(const std::string& path) {
     if (lat_finish.has_value() &&
         !c.latency_finish.merge_encoded(*lat_finish)) {
       return std::nullopt;
+    }
+    // Registry metrics: {"k","v"} pairs between the histograms and the
+    // series (absent in pre-observability shard files).  Bounded at
+    // "series" so a series sample can never be misread as a pair.
+    const std::string pair_needle = "\"k\": \"";
+    std::size_t metrics_end = text->find("\"series\":", pos);
+    if (metrics_end == std::string::npos || metrics_end > block_end) {
+      metrics_end = block_end;
+    }
+    std::size_t mp = text->find(pair_needle, pos);
+    while (mp != std::string::npos && mp < metrics_end) {
+      std::size_t pair_end = text->find(pair_needle, mp + pair_needle.size());
+      if (pair_end == std::string::npos || pair_end > metrics_end) {
+        pair_end = metrics_end;
+      }
+      const auto k = find_string(*text, "k", mp - 1, pair_end);
+      const auto v = find_number(*text, "v", mp, pair_end);
+      if (!k.has_value() || !v.has_value()) return std::nullopt;
+      c.metrics.push_back(
+          obs::MetricSample{*k, *v, /*deterministic=*/true});
+      mp = text->find(pair_needle, pair_end - 1);
     }
     // Hour-by-hour samples, delimited by their "hour" key (absent from the
     // scalar block, and series samples carry no "key", so the cell block

@@ -18,6 +18,7 @@
 
 #include "src/metrics/latency_histogram.hpp"
 #include "src/metrics/task_metrics.hpp"
+#include "src/obs/registry.hpp"
 #include "src/sweep/shard.hpp"
 
 namespace soc::sweep {
@@ -57,6 +58,13 @@ struct CellResult {
   /// Absent in pre-serving shard files; parsed as empty.
   metrics::LatencyHistogram latency_first_result;
   metrics::LatencyHistogram latency_finish;
+  /// Registry snapshot, deterministic samples only (wall-clock and RSS
+  /// gauges stay out — the merged report must be byte-identical however
+  /// the shards ran).  Stored as {"k","v"} pairs in the shard file so a
+  /// hostile metric name lives inside an escaped string value and can
+  /// never alias a schema key under the needle parser.  Absent in
+  /// pre-observability shard files; parsed as empty.
+  std::vector<obs::MetricSample> metrics;
 };
 
 struct ShardResult {

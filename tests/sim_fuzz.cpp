@@ -18,6 +18,13 @@
 // invariant, and the exact replay command, then exits 1.
 //
 //   sim_fuzz [--schedules 50] [--seed 1] [--only K] [--check-every-s 300]
+//            [--trace-on-failure]
+//
+// --trace-on-failure: when a schedule violates an invariant, replay it
+// bit-identically with the obs tracer installed and dump the failing
+// trajectory's Chrome trace (sim_fuzz_trace_<seed>_<k>.json, next to the
+// replay command) — the span timeline up to the violation, openable in
+// Perfetto.
 //            [--nodes-lo 24] [--nodes-hi 48] [--max-seconds 0] [--verbose]
 //
 // --max-seconds bounds *wall-clock* time: the harness stops launching new
@@ -37,6 +44,7 @@
 
 #include "src/common/cli.hpp"
 #include "src/core/experiment.hpp"
+#include "src/obs/trace.hpp"
 #include "src/scenario/invariants.hpp"
 #include "src/scenario/spec.hpp"
 
@@ -53,6 +61,10 @@ struct FuzzOptions {
   std::size_t nodes_hi = 48;
   double max_seconds = 0.0;  ///< wall-clock budget; 0 = unbounded
   bool verbose = false;
+  bool trace_on_failure = false;  ///< dump the failing schedule's trace
+  /// Internal: this run IS the tracing replay — suppress the violation
+  /// report (already printed) and do not recurse.
+  bool tracing_replay = false;
 };
 
 const char* policy_name(core::ChurnTaskPolicy p) {
@@ -177,6 +189,10 @@ ScheduleOutcome run_schedule(std::uint64_t k, const FuzzOptions& opt) {
     out.assertions += report.assertions;
     ++out.checkpoints;
     if (!report.ok()) {
+      if (opt.tracing_replay) {
+        out.ok = false;
+        return out;
+      }
       std::printf("\nsim_fuzz: INVARIANT VIOLATION in schedule %llu\n",
                   static_cast<unsigned long long>(k));
       std::printf("  %s\n", config_line(cfg).c_str());
@@ -193,6 +209,26 @@ ScheduleOutcome run_schedule(std::uint64_t k, const FuzzOptions& opt) {
           static_cast<unsigned long long>(opt.seed),
           static_cast<unsigned long long>(k), opt.nodes_lo, opt.nodes_hi,
           opt.check_every_s);
+      if (opt.trace_on_failure) {
+        // Bit-identical replay with the tracer installed: same seed chain,
+        // same schedule, same violation — tracing is a pure observer.
+        obs::Tracer tracer;
+        obs::install_tracer(&tracer);
+        FuzzOptions replay = opt;
+        replay.tracing_replay = true;
+        (void)run_schedule(k, replay);
+        obs::install_tracer(nullptr);
+        char path[96];
+        std::snprintf(path, sizeof(path), "sim_fuzz_trace_%llu_%llu.json",
+                      static_cast<unsigned long long>(opt.seed),
+                      static_cast<unsigned long long>(k));
+        if (tracer.export_json(path)) {
+          std::printf("trace:  %s (%zu events)\n", path,
+                      tracer.event_count());
+        } else {
+          std::printf("trace:  cannot write %s\n", path);
+        }
+      }
       out.ok = false;
       return out;
     }
@@ -222,6 +258,7 @@ int main(int argc, char** argv) {
   opt.nodes_hi = static_cast<std::size_t>(args.get_int("nodes-hi", 48));
   opt.max_seconds = args.get_double("max-seconds", 0.0);
   opt.verbose = args.get_bool("verbose", false);
+  opt.trace_on_failure = args.get_bool("trace-on-failure", false);
   if (opt.nodes_hi < opt.nodes_lo || opt.nodes_lo == 0 ||
       opt.check_every_s <= 0.0 || opt.max_seconds < 0.0) {
     std::fprintf(stderr, "sim_fuzz: bad option ranges\n");

@@ -8,6 +8,10 @@
 //   sweep_run --mode=plan         --dir D --shards N            <spec>
 //   sweep_run --mode=merge        --dir D --shards N [--merged P] <spec>
 //
+// --trace=PATH (worker and local modes) records every experiment's
+// query/task spans into one Chrome trace-event file, one lane per sweep
+// cell; tracing is a pure observer, so shard bytes are unchanged.
+//
 // <spec> (the grid; every flag takes a comma-separated list):
 //   --preset fig6                            (a paper figure/table/ablation
 //                                            grid as spec defaults; any
@@ -55,6 +59,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "src/obs/trace.hpp"
 #include "src/sweep/merge.hpp"
 #include "src/sweep/runner.hpp"
 
@@ -166,6 +171,9 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  const std::string trace_path = args.get("trace", "");
+  obs::Tracer tracer;
+
   if (mode == "worker") {
     const std::int64_t shard_id = args.get_int("shard", -1);
     if (shard_id < 0 || static_cast<std::size_t>(shard_id) >= shards_total) {
@@ -175,8 +183,19 @@ int main(int argc, char** argv) {
     }
     const auto shards = sweep::partition(spec, shards_total);
     const sweep::Shard& shard = shards[static_cast<std::size_t>(shard_id)];
+    if (!trace_path.empty()) obs::install_tracer(&tracer);
     const sweep::ShardResult result =
         sweep::run_shard(shard, spec.fingerprint(), shards_total);
+    if (!trace_path.empty()) {
+      obs::install_tracer(nullptr);
+      if (!tracer.export_json(trace_path)) {
+        std::fprintf(stderr, "sweep_run: cannot write %s\n",
+                     trace_path.c_str());
+        return 1;
+      }
+      std::printf("wrote %s (%zu trace events)\n", trace_path.c_str(),
+                  tracer.event_count());
+    }
     if (!sweep::write_shard_result(dir, result)) {
       std::fprintf(stderr, "sweep_run: cannot write %s\n",
                    sweep::shard_path(dir, shard.id).c_str());
@@ -224,11 +243,32 @@ int main(int argc, char** argv) {
   }
 
   if (mode == "orchestrate" || mode == "local") {
+    if (!trace_path.empty()) {
+      if (mode == "orchestrate") {
+        // Worker processes each need their own trace file; use
+        // --mode=worker --trace=... per shard (see --mode=plan).
+        std::fprintf(stderr,
+                     "sweep_run: --trace needs --mode=local or "
+                     "--mode=worker (one file per process)\n");
+        return 2;
+      }
+      obs::install_tracer(&tracer);
+    }
     sweep::OrchestrateOptions options;
     options.dir = dir;
     options.workers = static_cast<std::size_t>(args.get_int("workers", 2));
     if (mode == "orchestrate") options.worker_binary = self_exe(argv[0]);
     const auto outcome = sweep::orchestrate(spec, shards_total, options);
+    if (!trace_path.empty()) {
+      obs::install_tracer(nullptr);
+      if (!tracer.export_json(trace_path)) {
+        std::fprintf(stderr, "sweep_run: cannot write %s\n",
+                     trace_path.c_str());
+        return 1;
+      }
+      std::printf("wrote %s (%zu trace events)\n", trace_path.c_str(),
+                  tracer.event_count());
+    }
     if (!outcome.has_value()) return 2;
     std::printf("shards: %zu ran, %zu resumed as done, %zu failed\n",
                 outcome->ran, outcome->skipped, outcome->failed);
